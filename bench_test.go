@@ -1,0 +1,320 @@
+// Benchmarks, one family per reproduction experiment (see DESIGN.md's
+// per-experiment index). Run with:
+//
+//	go test -bench=. -benchmem .
+package ringrobots
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ringrobots/internal/align"
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/enumerate"
+	"ringrobots/internal/feasibility"
+	"ringrobots/internal/gather"
+	"ringrobots/internal/search"
+)
+
+// --- E1: Algorithm Align ---------------------------------------------------
+
+func BenchmarkAlignPlanner(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{12, 5}, {24, 8}, {48, 12}, {96, 16}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", tc.n, tc.k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			start, err := enumerate.RandomRigid(rng, tc.n, tc.k, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := start
+				for !c.IsCStar() {
+					p, err := align.ComputePlan(c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					c, err = align.Apply(c, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAlignLocalDecision(b *testing.B) {
+	// Cost of one robot's Look+Compute in the Align phase.
+	c, err := enumerate.RandomRigid(rand.New(rand.NewSource(2)), 32, 10, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := corda.FromConfig(c, true)
+	snap, _ := w.Snapshot(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.DecideFromSnapshot(snap)
+	}
+}
+
+// --- E2: configuration algebra (the substrate of every lemma check) --------
+
+func BenchmarkSupermin(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{16, 8}, {64, 16}, {256, 32}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", tc.n, tc.k), func(b *testing.B) {
+			c, err := enumerate.RandomRigid(rand.New(rand.NewSource(3)), tc.n, tc.k, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Supermin()
+			}
+		})
+	}
+}
+
+func BenchmarkRigidityDetection(b *testing.B) {
+	c, err := enumerate.RandomRigid(rand.New(rand.NewSource(4)), 128, 24, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.IsRigid() {
+			b.Fatal("fixture lost rigidity")
+		}
+	}
+}
+
+// --- E3: Figures 4–9 transition diagrams -----------------------------------
+
+func BenchmarkTransitionDiagrams(b *testing.B) {
+	for _, f := range feasibility.PaperFigures() {
+		b.Run(fmt.Sprintf("fig%d_k%d_n%d", f.Figure, f.K, f.N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := feasibility.NewTransitionGraph(f.N, f.K)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(g.Classes) != f.Classes {
+					b.Fatalf("class count %d != %d", len(g.Classes), f.Classes)
+				}
+			}
+		})
+	}
+}
+
+// --- E4: impossibility game solver ------------------------------------------
+
+func BenchmarkImpossibility(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{5, 2}, {6, 3}, {7, 4}} {
+		b.Run(fmt.Sprintf("k=%d_n=%d", tc.k, tc.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := feasibility.NewSolver(tc.n, tc.k).Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Impossible {
+					b.Fatal("expected impossibility")
+				}
+			}
+		})
+	}
+}
+
+// --- E5: Ring Clearing ------------------------------------------------------
+
+func BenchmarkRingClearingCycle(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{11, 5}, {12, 6}, {16, 8}, {24, 12}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", tc.n, tc.k), func(b *testing.B) {
+			c, err := config.CStar(tc.n, tc.k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alg := search.RingClearing{}
+			if err := alg.Validate(tc.n, tc.k); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := corda.FromConfig(c, true)
+				r := corda.NewRunner(w, alg)
+				moves := 0
+				for moves < tc.n+5 { // one full A-cycle of moves
+					moved, err := r.Step()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if moved {
+						moves++
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVerifyPerpetualSearch(b *testing.B) {
+	c, err := config.CStar(12, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := search.Verify(c, search.RingClearing{}, 500000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Explored {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// --- E6: NminusThree ---------------------------------------------------------
+
+func BenchmarkNminusThree(b *testing.B) {
+	for _, n := range []int{10, 12, 16, 24} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// Phase 1 from the worst spread + one phase-2 cycle.
+			occupied := make([]int, 0, n-3)
+			pos := 0
+			for _, size := range []int{1, 2, n - 6} {
+				pos++
+				for j := 0; j < size; j++ {
+					occupied = append(occupied, pos)
+					pos++
+				}
+			}
+			c := config.MustNew(n, occupied...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur := c
+				for steps := 0; steps < 3*n; steps++ {
+					p, err := search.ComputeN3Plan(cur)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cur, err = cur.Move(p.Mover, p.Target)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- E7: gathering ------------------------------------------------------------
+
+func BenchmarkGathering(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{12, 5}, {24, 8}, {48, 10}, {96, 12}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", tc.n, tc.k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			start, err := enumerate.RandomRigid(rng, tc.n, tc.k, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := gather.NewWorld(start)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := gather.Run(w, 500*tc.n*tc.n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E8: characterization -------------------------------------------------------
+
+func BenchmarkCharacterize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for n := 3; n <= 40; n++ {
+			for k := 1; k <= n; k++ {
+				CharacterizeSearching(n, k)
+			}
+		}
+	}
+}
+
+// --- E9: engines ----------------------------------------------------------------
+
+func BenchmarkEngineSequential(b *testing.B) {
+	start, err := enumerate.RandomRigid(rand.New(rand.NewSource(6)), 16, 6, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := gather.NewWorld(start)
+		r := corda.NewRunner(w, gather.Gathering{})
+		if _, err := r.RunUntil((*corda.World).Gathered, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineAsync(b *testing.B) {
+	start, err := enumerate.RandomRigid(rand.New(rand.NewSource(6)), 16, 6, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := gather.NewWorld(start)
+		r := corda.NewAsyncRunner(w, gather.Gathering{}, corda.NewRandomAsync(int64(i), 0.3))
+		if _, err := r.RunUntil((*corda.World).Gathered, 1000000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineGoroutines(b *testing.B) {
+	start, err := enumerate.RandomRigid(rand.New(rand.NewSource(6)), 16, 6, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := gather.NewWorld(start)
+		e := &corda.Engine{
+			World:     w,
+			Algorithm: gather.Gathering{},
+			Budget:    2_000_000,
+			Seed:      int64(i),
+			Stop:      (*corda.World).Gathered,
+		}
+		if _, _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if !w.Gathered() {
+			b.Fatal("engine budget exhausted")
+		}
+	}
+}
+
+// --- snapshot construction (shared cost of every Look in every experiment) ---
+
+func BenchmarkSnapshot(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{16, 6}, {64, 16}, {256, 24}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", tc.n, tc.k), func(b *testing.B) {
+			c, err := enumerate.RandomRigid(rand.New(rand.NewSource(7)), tc.n, tc.k, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := corda.FromConfig(c, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Snapshot(i % tc.k)
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+// Command characterize prints the paper's almost-complete
+// characterization of exclusive perpetual graph searching on rings
+// (which (n, k) are solvable, impossible, or open) and the gathering
+// range of Theorem 8 — the reproduction of the paper's headline
+// contribution table.
+//
+// Usage:
+//
+//	characterize          # searching matrix for n ≤ 20
+//	characterize -max 30  # larger grid
+//	characterize -task gathering
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ringrobots"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+	var (
+		maxN = flag.Int("max", 20, "largest ring size")
+		task = flag.String("task", "searching", "searching | gathering")
+	)
+	flag.Parse()
+
+	characterize := ringrobots.CharacterizeSearching
+	if *task == "gathering" {
+		characterize = ringrobots.CharacterizeGathering
+	} else if *task != "searching" {
+		log.Fatalf("unknown task %q", *task)
+	}
+
+	fmt.Printf("exclusive perpetual %s on n-node rings with k robots\n", *task)
+	fmt.Println("  S solvable   X impossible   ? open   - no rigid start   . degenerate")
+	fmt.Print("      k:")
+	for k := 1; k <= *maxN; k++ {
+		fmt.Printf("%3d", k)
+	}
+	fmt.Println()
+	for n := 3; n <= *maxN; n++ {
+		fmt.Printf("  n=%3d ", n)
+		for k := 1; k <= n; k++ {
+			v, _ := characterize(n, k)
+			fmt.Printf("  %s", symbol(v))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("selected verdicts with reasons:")
+	for _, pair := range [][2]int{{12, 2}, {9, 5}, {12, 4}, {10, 5}, {12, 6}, {12, 9}, {12, 10}, {12, 11}} {
+		v, reason := characterize(pair[0], pair[1])
+		fmt.Printf("  n=%-3d k=%-3d %-14s %s\n", pair[0], pair[1], v, reason)
+	}
+}
+
+func symbol(v ringrobots.Verdict) string {
+	switch v {
+	case ringrobots.Solvable:
+		return "S"
+	case ringrobots.Impossible:
+		return "X"
+	case ringrobots.Open:
+		return "?"
+	case ringrobots.NoRigidStart:
+		return "-"
+	}
+	return "."
+}

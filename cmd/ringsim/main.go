@@ -1,0 +1,140 @@
+// Command ringsim runs one of the paper's three tasks on an anonymous
+// ring and streams the execution trace.
+//
+// Usage:
+//
+//	ringsim -task gathering -n 12 -k 5 -seed 7 [-async] [-quiet]
+//	ringsim -task searching -n 12 -k 6 -moves 40
+//
+// The starting configuration is a seeded random rigid exclusive
+// configuration. For the perpetual tasks the run stops after -moves
+// moves; gathering stops when gathered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"ringrobots"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ringsim: ")
+	var (
+		taskName = flag.String("task", "gathering", "task: exploration | searching | gathering")
+		n        = flag.Int("n", 12, "ring size")
+		k        = flag.Int("k", 5, "number of robots")
+		seed     = flag.Int64("seed", 1, "random seed (initial configuration and async adversary)")
+		moves    = flag.Int("moves", 60, "move budget for perpetual tasks")
+		async    = flag.Bool("async", false, "use the fully asynchronous adversary instead of round-robin")
+		quiet    = flag.Bool("quiet", false, "suppress the per-move trace")
+	)
+	flag.Parse()
+
+	var task ringrobots.Task
+	switch *taskName {
+	case "exploration":
+		task = ringrobots.Exploration
+	case "searching":
+		task = ringrobots.Searching
+	case "gathering":
+		task = ringrobots.Gathering
+	default:
+		log.Fatalf("unknown task %q", *taskName)
+	}
+
+	alg, err := ringrobots.NewAlgorithm(task, *n, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	start, err := ringrobots.RandomRigidConfig(rng, *n, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := ringrobots.NewWorld(task, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("task=%s algorithm=%s n=%d k=%d\n", task, alg.Name(), *n, *k)
+	fmt.Printf("start: %v\n", start)
+
+	var cont *search.Contamination
+	if task == ringrobots.Searching {
+		cont = ringrobots.NewContamination(world)
+	}
+	exp := ringrobots.NewExplorationTracker(world)
+
+	printer := &tracePrinter{world: world, cont: cont, quiet: *quiet}
+	budget := 1000 * *n * *k
+
+	if *async {
+		r := ringrobots.NewAsyncRunner(world, alg, ringrobots.NewRandomAsyncAdversary(*seed, 0.3))
+		if cont != nil {
+			r.Observe(cont) // before the printer so printed counts are current
+		}
+		r.Observe(exp)
+		r.Observe(printer)
+		stop := stopCondition(task, world, printer, *moves)
+		if _, err := r.RunUntil(stop, budget); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		r := ringrobots.NewRunner(world, alg)
+		if cont != nil {
+			r.Observe(cont)
+		}
+		r.Observe(exp)
+		r.Observe(printer)
+		stop := stopCondition(task, world, printer, *moves)
+		if _, err := r.RunUntil(stop, budget); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("final: %v\n", world.Config())
+	fmt.Printf("moves: %d\n", printer.moves)
+	cov := exp.CoverageByRobot()
+	fmt.Printf("coverage per robot (distinct nodes visited): %v\n", cov)
+	if cont != nil {
+		fmt.Printf("clear edges: %d/%d, all-clear events: %d\n", cont.ClearCount(), *n, cont.AllClearEvents())
+	}
+	if task == ringrobots.Gathering && !world.Gathered() {
+		fmt.Println("warning: budget exhausted before gathering")
+		os.Exit(1)
+	}
+}
+
+func stopCondition(task ringrobots.Task, w *ringrobots.World, p *tracePrinter, moveBudget int) func(*ringrobots.World) bool {
+	if task == ringrobots.Gathering {
+		return (*ringrobots.World).Gathered
+	}
+	return func(*ringrobots.World) bool { return p.moves >= moveBudget }
+}
+
+// tracePrinter prints each executed move with the resulting configuration.
+type tracePrinter struct {
+	world *ringrobots.World
+	cont  *search.Contamination
+	quiet bool
+	moves int
+}
+
+func (t *tracePrinter) ObserveMove(ev corda.MoveEvent, w *corda.World) {
+	t.moves++
+	if t.quiet {
+		return
+	}
+	line := fmt.Sprintf("move %3d: robot@%d → %d   config %v", t.moves, ev.From, ev.To, w.Config().Nodes())
+	if t.cont != nil {
+		line += fmt.Sprintf("   clear %d/%d", t.cont.ClearCount(), w.N())
+	}
+	fmt.Println(line)
+}

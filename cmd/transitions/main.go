@@ -1,0 +1,55 @@
+// Command transitions regenerates the configuration-transition diagrams
+// of the paper's Figures 4–9: the distinct exclusive configurations for
+// the six impossibility cases of Theorem 5 and the single-move arcs
+// between them.
+//
+// Usage:
+//
+//	transitions            # all six paper figures, as text
+//	transitions -dot       # Graphviz output
+//	transitions -n 8 -k 4  # one custom case
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ringrobots"
+	"ringrobots/internal/feasibility"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("transitions: ")
+	var (
+		n   = flag.Int("n", 0, "ring size (0 = all six paper figures)")
+		k   = flag.Int("k", 0, "number of robots")
+		dot = flag.Bool("dot", false, "emit Graphviz DOT instead of text")
+	)
+	flag.Parse()
+
+	if *n != 0 || *k != 0 {
+		emit(*n, *k, 0, *dot)
+		return
+	}
+	for _, f := range feasibility.PaperFigures() {
+		emit(f.N, f.K, f.Figure, *dot)
+	}
+}
+
+func emit(n, k, figure int, dot bool) {
+	g, err := ringrobots.TransitionGraph(n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if figure > 0 {
+		fmt.Printf("── paper Figure %d ──\n", figure)
+	}
+	if dot {
+		fmt.Print(g.DOT())
+	} else {
+		fmt.Print(g.String())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,72 @@
+// Patrol: perpetual graph searching as a patrolling scenario.
+//
+// A museum's circular corridor (the ring) must be swept continuously:
+// an intruder could recontaminate any section the guards stop watching.
+// The guards are min-CORDA robots — no radios, no compasses, no memory —
+// running the paper's Ring Clearing algorithm (Theorem 6). The example
+// shows the two-phase structure: Align funnels an arbitrary rigid start
+// into C*, then the A-a → … → A-e caterpillar cycle sweeps the corridor
+// forever; we recontaminate everything twice mid-run to show the sweep
+// recovers.
+//
+//	go run ./examples/patrol
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ringrobots"
+)
+
+func main() {
+	const n, k = 13, 6
+
+	rng := rand.New(rand.NewSource(7))
+	start, err := ringrobots.RandomRigidConfig(rng, n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg, err := ringrobots.NewAlgorithm(ringrobots.Searching, n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := ringrobots.NewWorld(ringrobots.Searching, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	contamination := ringrobots.NewContamination(world)
+	runner := ringrobots.NewRunner(world, alg)
+	runner.Observe(contamination)
+
+	fmt.Printf("corridor with %d sections, %d guards, start %v\n", n, k, start.Nodes())
+
+	sweeps := 0
+	moves := 0
+	intrusions := []int{40, 90} // recontaminate everything at these moves
+	for moves < 140 {
+		moved, err := runner.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !moved {
+			continue
+		}
+		moves++
+		for _, at := range intrusions {
+			if moves == at {
+				contamination.Reset(world)
+				fmt.Printf("move %3d: INTRUSION — all %d sections recontaminated\n", moves, n)
+			}
+		}
+		if contamination.AllClear() && contamination.AllClearEvents() > sweeps {
+			sweeps = contamination.AllClearEvents()
+			fmt.Printf("move %3d: corridor fully swept (sweep #%d), guards at %v\n",
+				moves, sweeps, world.Config().Nodes())
+		}
+	}
+	fmt.Printf("done: %d complete sweeps in %d moves; %d/%d sections currently clear\n",
+		sweeps, moves, contamination.ClearCount(), n)
+}

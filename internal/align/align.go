@@ -1,0 +1,275 @@
+// Package align implements Algorithm Align (§3): starting from any rigid
+// exclusive configuration of k ≥ 3 robots on an n-node ring (k < n−2), a
+// sequence of single-robot moves that reaches the distinguished
+// configuration C* = (0^{k−2}, 1, n−k−1), keeping every intermediate
+// configuration rigid except for the one two-step detour through the
+// symmetric configuration (0,0,2,2) taken from Cs = (0,1,1,2).
+//
+// Align is the common phase 1 of the paper's unified approach: graph
+// searching, exploration and gathering all start by running it.
+package align
+
+import (
+	"errors"
+	"fmt"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/ring"
+)
+
+// Rule names the reduction applied by one Align step (§3.1).
+type Rule int
+
+const (
+	// RuleNone means no move: the configuration is already C*.
+	RuleNone Rule = iota
+	// Rule0 is reduction_0: shrink a positive supermin interval.
+	Rule0
+	// Rule1 is reduction_1: shrink the first positive interval q_{ℓ1}.
+	Rule1
+	// Rule2 is reduction_2: shrink the second positive interval q_{ℓ2}.
+	Rule2
+	// RuleMinus1 is reduction_{−1}: shrink the last interval q_{k−1}.
+	RuleMinus1
+	// RuleCs is the forced reduction_1 out of the special configurations
+	// Cs = (0,1,1,2) and its symmetric successor (0,0,2,2).
+	RuleCs
+)
+
+func (r Rule) String() string {
+	switch r {
+	case RuleNone:
+		return "none"
+	case Rule0:
+		return "reduction0"
+	case Rule1:
+		return "reduction1"
+	case Rule2:
+		return "reduction2"
+	case RuleMinus1:
+		return "reduction-1"
+	case RuleCs:
+		return "reduction1(Cs)"
+	}
+	return fmt.Sprintf("Rule(%d)", int(r))
+}
+
+// Plan is the single move Align performs in a configuration.
+type Plan struct {
+	// Done reports that the configuration is C*; no move is needed.
+	Done bool
+	// Rule is the reduction applied.
+	Rule Rule
+	// Mover is the node of the robot that moves.
+	Mover int
+	// Target is the node it moves to. When Either is set the two neighbors
+	// of Mover are symmetric and Target is one valid adversary choice.
+	Target int
+	// Either marks the (0,0,2,2) axis move whose direction is arbitrary.
+	Either bool
+}
+
+// ErrNotApplicable reports a configuration outside Align's domain: not
+// rigid (and not the sanctioned (0,0,2,2) intermediate), or with k or n
+// out of range.
+var ErrNotApplicable = errors.New("align: configuration is not rigid (and not the (0,0,2,2) intermediate)")
+
+// Validate checks the parameter range of Theorem 1: k ≥ 3 robots on an
+// n-node ring with k < n−2.
+func Validate(n, k int) error {
+	if k < 3 {
+		return fmt.Errorf("align: need k >= 3 robots, got k=%d", k)
+	}
+	if k >= n-2 {
+		return fmt.Errorf("align: need k < n-2, got k=%d, n=%d (no rigid configuration exists otherwise)", k, n)
+	}
+	return nil
+}
+
+// ComputePlan determines the move Align performs in configuration c,
+// following Fig. 1 of the paper exactly.
+func ComputePlan(c config.Config) (Plan, error) {
+	if err := Validate(c.N(), c.K()); err != nil {
+		return Plan{}, err
+	}
+	if c.IsCStar() {
+		return Plan{Done: true, Rule: RuleNone}, nil
+	}
+	if c.IsPostCs() {
+		// Symmetric intermediate reached only from Cs: the unique robot
+		// with two equal views and both neighbors empty moves in an
+		// arbitrary direction (§3.1).
+		mover, ok := postCsAxisRobot(c)
+		if !ok {
+			return Plan{}, fmt.Errorf("align: (0,0,2,2) configuration without an axis robot: %v", c)
+		}
+		return Plan{Rule: RuleCs, Mover: mover, Target: c.Ring().Step(mover, ring.CW), Either: true}, nil
+	}
+	if !c.IsRigid() {
+		return Plan{}, fmt.Errorf("%w: %v", ErrNotApplicable, c)
+	}
+
+	w, anchors := c.Supermin()
+	a := anchors[0] // rigid ⇒ unique anchor (Lemma 1)
+	nodes := nodesInOrder(c, a)
+	k := c.K()
+
+	if w[0] > 0 {
+		// reduction_0: the robot at node a moves into interval q0.
+		return Plan{Rule: Rule0, Mover: nodes[0], Target: c.Ring().Step(nodes[0], a.Dir)}, nil
+	}
+
+	l1 := firstPositive(w, 0)
+	if l1 < 0 {
+		return Plan{}, fmt.Errorf("align: all-zero supermin view in %v", c)
+	}
+	// reduction_1: robot b between q_{ℓ1} and q_{ℓ1+1} moves into q_{ℓ1}.
+	p1 := Plan{Rule: Rule1, Mover: nodes[(l1+1)%k], Target: c.Ring().Step(nodes[(l1+1)%k], a.Dir.Opposite())}
+	if next, err := apply(c, p1); err == nil && !next.IsSymmetric() {
+		return p1, nil
+	}
+
+	l2 := firstPositive(w, l1+1)
+	if l2 > 0 {
+		// reduction_2: robot c between q_{ℓ2} and q_{ℓ2+1} moves into q_{ℓ2}.
+		p2 := Plan{Rule: Rule2, Mover: nodes[(l2+1)%k], Target: c.Ring().Step(nodes[(l2+1)%k], a.Dir.Opposite())}
+		if next, err := apply(c, p2); err == nil && !next.IsSymmetric() {
+			return p2, nil
+		}
+	}
+
+	// reduction_{−1}: robot d between q_{k−2} and q_{k−1} moves into q_{k−1}.
+	pm := Plan{Rule: RuleMinus1, Mover: nodes[k-1], Target: c.Ring().Step(nodes[k-1], a.Dir)}
+	if next, err := apply(c, pm); err == nil && !next.IsSymmetric() {
+		return pm, nil
+	}
+
+	// Only Cs = (0,1,1,2) reaches this point (Lemmas 3–5): perform
+	// reduction_1 anyway; the successor is the symmetric (0,0,2,2).
+	if !c.IsCs() {
+		return Plan{}, fmt.Errorf("align: all reductions create symmetry but configuration %v is not Cs", c)
+	}
+	p1.Rule = RuleCs
+	return p1, nil
+}
+
+// apply executes a plan on a configuration (exclusively).
+func apply(c config.Config, p Plan) (config.Config, error) {
+	return c.Move(p.Mover, p.Target)
+}
+
+// Apply executes the plan computed by ComputePlan and returns the next
+// configuration.
+func Apply(c config.Config, p Plan) (config.Config, error) {
+	if p.Done {
+		return c, nil
+	}
+	return apply(c, p)
+}
+
+// postCsAxisRobot locates the unique robot of a (0,0,2,2) configuration
+// that lies alone on the symmetry axis: both its views coincide and both
+// its neighbors are empty.
+func postCsAxisRobot(c config.Config) (int, bool) {
+	for _, u := range c.Nodes() {
+		cw := c.ViewFrom(u, ring.CW)
+		ccw := c.ViewFrom(u, ring.CCW)
+		if cw.Equal(ccw) && cw[0] > 0 {
+			return u, true
+		}
+	}
+	return 0, false
+}
+
+// nodesInOrder lists the occupied nodes starting at the anchor and
+// following its reading direction, so that nodes[i] sits between intervals
+// q_{i−1} and q_i of the supermin view.
+func nodesInOrder(c config.Config, a config.Anchor) []int {
+	sorted := c.Nodes()
+	k := len(sorted)
+	start := -1
+	for i, u := range sorted {
+		if u == a.Node {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		panic("align: anchor not an occupied node")
+	}
+	out := make([]int, k)
+	for j := 0; j < k; j++ {
+		if a.Dir == ring.CW {
+			out[j] = sorted[(start+j)%k]
+		} else {
+			out[j] = sorted[((start-j)%k+k)%k]
+		}
+	}
+	return out
+}
+
+func firstPositive(v config.View, from int) int {
+	for i := from; i < len(v); i++ {
+		if v[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Algorithm is the oblivious per-robot realization of Align: each robot
+// reconstructs the configuration from its own view, computes the global
+// plan, and moves only if it is the planned mover. It implements
+// corda.Algorithm.
+type Algorithm struct{}
+
+// Name implements corda.Algorithm.
+func (Algorithm) Name() string { return "align" }
+
+// Compute implements corda.Algorithm.
+func (Algorithm) Compute(s corda.Snapshot) corda.Decision {
+	return DecideFromSnapshot(s)
+}
+
+// DecideFromSnapshot computes the Align decision for a robot perceiving s.
+// It is shared with the composed task algorithms (searching, gathering).
+func DecideFromSnapshot(s corda.Snapshot) corda.Decision {
+	// Reconstruct the ring with this robot at node 0 and the Lo view read
+	// clockwise. The plan is a function of the configuration only, so any
+	// consistent reconstruction yields the correct physical move.
+	c, err := config.FromIntervals(0, s.Lo)
+	if err != nil {
+		return corda.Stay
+	}
+	p, err := ComputePlan(c)
+	if err != nil || p.Done || p.Mover != 0 {
+		return corda.Stay
+	}
+	if p.Either {
+		return corda.Either
+	}
+	switch p.Target {
+	case 1: // clockwise in the reconstruction = the Lo reading direction
+		return corda.TowardLo
+	case c.N() - 1:
+		return corda.TowardHi
+	}
+	return corda.Stay
+}
+
+// Run drives a world to C* with atomic scheduling, returning the number of
+// moves. It fails if the budget is exhausted or a collision occurs.
+func Run(w *corda.World, maxSteps int) (moves int, err error) {
+	r := corda.NewRunner(w, Algorithm{})
+	reason, err := r.RunUntil(func(w *corda.World) bool {
+		return w.Config().IsCStar()
+	}, maxSteps)
+	if err != nil {
+		return r.Moves(), err
+	}
+	if reason != corda.StopCondition {
+		return r.Moves(), fmt.Errorf("align: stopped with reason %v before reaching C* (world %v)", reason, w)
+	}
+	return r.Moves(), nil
+}

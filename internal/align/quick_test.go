@@ -1,0 +1,163 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/enumerate"
+)
+
+// Property-based checks of Align's single-step contract on randomly drawn
+// rigid configurations of arbitrary size.
+
+func randomRigid(t *testing.T, seed int64) config.Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 8 + rng.Intn(33) // 8..40
+	k := 3 + rng.Intn(n-5)
+	if k >= n-2 {
+		k = n - 3
+	}
+	c, err := enumerate.RandomRigid(rng, n, k, 100000)
+	if err != nil {
+		t.Skipf("no rigid configuration for n=%d k=%d: %v", n, k, err)
+	}
+	return c
+}
+
+func TestQuickPlanProducesValidExclusiveMove(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomRigid(t, seed)
+		p, err := ComputePlan(c)
+		if err != nil {
+			t.Logf("plan error at %v: %v", c, err)
+			return false
+		}
+		if p.Done {
+			return c.IsCStar()
+		}
+		// The mover must be occupied, the target empty and adjacent.
+		if !c.Occupied(p.Mover) || c.Occupied(p.Target) {
+			return false
+		}
+		if !c.Ring().Adjacent(p.Mover, p.Target) {
+			return false
+		}
+		next, err := Apply(c, p)
+		if err != nil {
+			return false
+		}
+		// Robot count is preserved and the successor stays in Align's
+		// domain (rigid, or the sanctioned (0,0,2,2) intermediate, or C*).
+		if next.K() != c.K() {
+			return false
+		}
+		return next.IsRigid() || next.IsPostCs() || next.IsCStar()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSuperminNeverBelowCStar(t *testing.T) {
+	// C* is the least rigid configuration in supermin order: no rigid
+	// configuration's supermin view is smaller (Theorem 1's termination
+	// argument rests on this).
+	f := func(seed int64) bool {
+		c := randomRigid(t, seed)
+		cstar, err := config.CStarView(c.N(), c.K())
+		if err != nil {
+			return true
+		}
+		return !c.SuperminView().Less(cstar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLocalDecisionNeverPanicsOnArbitraryViews(t *testing.T) {
+	// Robustness/failure injection: arbitrary (even inconsistent) view
+	// pairs must never panic the local rule; Stay is the safe default.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make(config.View, len(raw))
+		for i, x := range raw {
+			v[i] = int(x % 5)
+		}
+		s := snapshotFromView(v)
+		d := DecideFromSnapshot(s)
+		_ = d
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAblationReductionPriority documents why Fig. 1 tries reduction_1
+// before reduction_2: there are rigid configurations where reduction_2
+// creates a symmetric configuration although reduction_1 does not —
+// swapping the priority would strand the algorithm outside its domain.
+func TestAblationReductionPriority(t *testing.T) {
+	found := 0
+	for n := 6; n <= 12 && found == 0; n++ {
+		for k := 3; k < n-2; k++ {
+			classes, err := enumerate.RigidClasses(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range classes {
+				if c.IsCStar() {
+					continue
+				}
+				w, anchors := c.Supermin()
+				if w[0] != 0 {
+					continue
+				}
+				l1 := firstPositive(w, 0)
+				l2 := firstPositive(w, l1+1)
+				if l2 < 0 {
+					continue
+				}
+				nodes := nodesInOrder(c, anchors[0])
+				m1 := nodes[(l1+1)%k]
+				next1, err1 := c.Move(m1, c.Ring().Step(m1, anchors[0].Dir.Opposite()))
+				m2 := nodes[(l2+1)%k]
+				next2, err2 := c.Move(m2, c.Ring().Step(m2, anchors[0].Dir.Opposite()))
+				if err1 != nil || err2 != nil {
+					continue
+				}
+				if !next1.IsSymmetric() && next2.IsSymmetric() {
+					found++
+					t.Logf("witness: %v — reduction1 → %v (rigid), reduction2 → %v (symmetric)",
+						c.SuperminView(), next1.SuperminView(), next2.SuperminView())
+					break
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no witness found: the reduction priority would be arbitrary")
+	}
+}
+
+// snapshotFromView fabricates a snapshot whose two views are the given
+// sequence and its plain reversal (what a robot would see if the sequence
+// were a genuine interval cycle).
+func snapshotFromView(v config.View) corda.Snapshot {
+	rev := v.Clone()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	lo, hi := v, rev
+	if rev.Less(v) {
+		lo, hi = rev, v
+	}
+	return corda.Snapshot{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,369 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"ringrobots/internal/ring"
+)
+
+// Config is a configuration in the paper's sense (§2): the set of occupied
+// nodes of an n-node ring. It says nothing about how many robots share a
+// node; multiplicities belong to the simulator's world state.
+//
+// A Config is immutable once built; all mutating operations return copies.
+type Config struct {
+	r     ring.Ring
+	nodes []int // occupied nodes, strictly increasing, in [0, n)
+}
+
+// New builds a configuration from the given occupied nodes on an n-node
+// ring. Duplicate or out-of-range nodes are an error; an empty node set is
+// an error (every task in the paper has k ≥ 1).
+func New(n int, occupied ...int) (Config, error) {
+	if n < 3 {
+		return Config{}, fmt.Errorf("config: ring size n=%d out of range (need n >= 3)", n)
+	}
+	if len(occupied) == 0 {
+		return Config{}, fmt.Errorf("config: no occupied nodes")
+	}
+	if len(occupied) > n {
+		return Config{}, fmt.Errorf("config: %d occupied nodes exceed ring size %d", len(occupied), n)
+	}
+	nodes := make([]int, len(occupied))
+	copy(nodes, occupied)
+	sort.Ints(nodes)
+	for i, u := range nodes {
+		if u < 0 || u >= n {
+			return Config{}, fmt.Errorf("config: node %d out of range [0,%d)", u, n)
+		}
+		if i > 0 && nodes[i-1] == u {
+			return Config{}, fmt.Errorf("config: node %d occupied twice; a configuration is a set of nodes", u)
+		}
+	}
+	return Config{r: ring.New(n), nodes: nodes}, nil
+}
+
+// MustNew is New, panicking on error. Intended for tests and literals.
+func MustNew(n int, occupied ...int) Config {
+	c, err := New(n, occupied...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FromIntervals builds the configuration whose interval cycle, read
+// clockwise from a robot placed at node `start`, is exactly v. The ring
+// size is len(v)+v.Sum().
+func FromIntervals(start int, v View) (Config, error) {
+	k := len(v)
+	if k == 0 {
+		return Config{}, fmt.Errorf("config: empty interval view")
+	}
+	for _, q := range v {
+		if q < 0 {
+			return Config{}, fmt.Errorf("config: negative interval in %v", v)
+		}
+	}
+	n := k + v.Sum()
+	if n < 3 {
+		return Config{}, fmt.Errorf("config: view %v describes a ring with %d < 3 nodes", v, n)
+	}
+	r := ring.New(n)
+	nodes := make([]int, 0, k)
+	u := r.Norm(start)
+	for i := 0; i < k; i++ {
+		nodes = append(nodes, u)
+		u = r.Norm(u + v[i] + 1)
+	}
+	return New(n, nodes...)
+}
+
+// N returns the ring size.
+func (c Config) N() int { return c.r.N() }
+
+// K returns the number of occupied nodes.
+func (c Config) K() int { return len(c.nodes) }
+
+// Ring returns the underlying ring.
+func (c Config) Ring() ring.Ring { return c.r }
+
+// Nodes returns the occupied nodes in increasing order (a fresh slice).
+func (c Config) Nodes() []int {
+	out := make([]int, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// Occupied reports whether node u hosts at least one robot.
+func (c Config) Occupied(u int) bool {
+	u = c.r.Norm(u)
+	i := sort.SearchInts(c.nodes, u)
+	return i < len(c.nodes) && c.nodes[i] == u
+}
+
+// nodeIndex returns the index of u in the sorted node list, or -1.
+func (c Config) nodeIndex(u int) int {
+	u = c.r.Norm(u)
+	i := sort.SearchInts(c.nodes, u)
+	if i < len(c.nodes) && c.nodes[i] == u {
+		return i
+	}
+	return -1
+}
+
+// Intervals returns the interval cycle g where g[i] is the number of empty
+// nodes strictly between occupied node i and occupied node i+1 (clockwise,
+// indices into Nodes(), cyclically).
+func (c Config) Intervals() View {
+	k := len(c.nodes)
+	g := make(View, k)
+	for i := 0; i < k; i++ {
+		next := c.nodes[(i+1)%k]
+		g[i] = c.r.Norm(next-c.nodes[i]) - 1
+		if k == 1 {
+			g[i] = c.r.N() - 1
+		}
+	}
+	return g
+}
+
+// ViewFrom returns the view of the occupied node u read in direction d.
+// It panics if u is not occupied.
+func (c Config) ViewFrom(u int, d ring.Direction) View {
+	i := c.nodeIndex(u)
+	if i < 0 {
+		return panicUnoccupied(u)
+	}
+	g := c.Intervals()
+	k := len(g)
+	v := make(View, k)
+	if d == ring.CW {
+		for j := 0; j < k; j++ {
+			v[j] = g[(i+j)%k]
+		}
+	} else {
+		for j := 0; j < k; j++ {
+			v[j] = g[((i-1-j)%k+k)%k]
+		}
+	}
+	return v
+}
+
+func panicUnoccupied(u int) View {
+	panic(fmt.Sprintf("config: node %d is not occupied", u))
+}
+
+// MinViewFrom returns the lexicographically smaller of the two directional
+// views at occupied node u — the paper's default W(r) — plus the direction
+// realizing it (ties report CW).
+func (c Config) MinViewFrom(u int) (View, ring.Direction) {
+	cw := c.ViewFrom(u, ring.CW)
+	ccw := c.ViewFrom(u, ring.CCW)
+	if ccw.Less(cw) {
+		return ccw, ring.CCW
+	}
+	return cw, ring.CW
+}
+
+// Views returns the set W(C): every directional view of every occupied
+// node (2k views, possibly with repetitions).
+func (c Config) Views() []View {
+	out := make([]View, 0, 2*len(c.nodes))
+	for _, u := range c.nodes {
+		out = append(out, c.ViewFrom(u, ring.CW), c.ViewFrom(u, ring.CCW))
+	}
+	return out
+}
+
+// Anchor identifies one reading of the configuration: start at occupied
+// node Node and read in direction Dir.
+type Anchor struct {
+	Node int
+	Dir  ring.Direction
+}
+
+// Supermin returns the supermin configuration view W^C_min (§2): the
+// lexicographically minimal view over all anchors, together with every
+// anchor realizing it.
+func (c Config) Supermin() (View, []Anchor) {
+	var best View
+	var anchors []Anchor
+	for _, u := range c.nodes {
+		for _, d := range []ring.Direction{ring.CW, ring.CCW} {
+			v := c.ViewFrom(u, d)
+			switch {
+			case best == nil || v.Less(best):
+				best = v
+				anchors = anchors[:0]
+				anchors = append(anchors, Anchor{Node: u, Dir: d})
+			case v.Equal(best):
+				anchors = append(anchors, Anchor{Node: u, Dir: d})
+			}
+		}
+	}
+	return best, anchors
+}
+
+// SuperminView returns just the supermin view.
+func (c Config) SuperminView() View {
+	v, _ := c.Supermin()
+	return v
+}
+
+// SuperminIntervals returns the paper's set I_C: the interval positions at
+// which some minimal reading starts. Each element identifies an interval by
+// the pair of occupied-node indices it lies between; we return the index i
+// of the interval g[i] (between Nodes()[i] and Nodes()[i+1]).
+//
+// Lemma 1 classifies configurations by |I_C|:
+//
+//	|I_C| = 1 ⇔ rigid, or a unique axis through the supermin;
+//	|I_C| = 2 ⇔ aperiodic+symmetric with axis off every supermin, or periodic with period n/2;
+//	|I_C| > 2 ⇔ periodic with period ≤ n/3.
+func (c Config) SuperminIntervals() []int {
+	_, anchors := c.Supermin()
+	k := len(c.nodes)
+	seen := make(map[int]bool, len(anchors))
+	var out []int
+	for _, a := range anchors {
+		i := c.nodeIndex(a.Node)
+		// Reading CW from node i starts with interval i; reading CCW
+		// starts with interval i−1.
+		gi := i
+		if a.Dir == ring.CCW {
+			gi = ((i - 1) % k) + k
+			gi %= k
+		}
+		if !seen[gi] {
+			seen[gi] = true
+			out = append(out, gi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsPeriodic reports whether the configuration is invariant under a
+// non-trivial rotation (§2). Equivalent, via Property 1(i), to the interval
+// cycle equaling one of its non-trivial rotations.
+func (c Config) IsPeriodic() bool {
+	g := c.Intervals()
+	k := len(g)
+	if k <= 1 {
+		return false
+	}
+	for s := 1; s < k; s++ {
+		if g.Rotated(s).Equal(g) {
+			// A rotation of the interval cycle by s corresponds to an
+			// actual ring rotation only if it shifts nodes consistently —
+			// which it always does: the rotation amount is the sum of the
+			// first s gaps plus s.
+			return true
+		}
+	}
+	return false
+}
+
+// IsSymmetric reports whether the ring admits a geometric axis of symmetry
+// mapping the configuration to itself (§2). Via Property 1(ii) this holds
+// iff the reversed interval cycle is a rotation of the interval cycle.
+func (c Config) IsSymmetric() bool {
+	g := c.Intervals()
+	k := len(g)
+	if k == 1 {
+		return true
+	}
+	rev := g.Reversed()
+	for s := 0; s < k; s++ {
+		if rev.Rotated(s).Equal(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsRigid reports whether the configuration is aperiodic and asymmetric.
+func (c Config) IsRigid() bool {
+	return !c.IsPeriodic() && !c.IsSymmetric()
+}
+
+// IsExclusiveRepresentable reports whether k < n (there is at least one
+// empty node), which every exclusive task requires.
+func (c Config) IsExclusiveRepresentable() bool { return c.K() < c.N() }
+
+// Move returns the configuration obtained by vacating node from and
+// occupying node to. It is the *configuration-level* move: callers must
+// separately enforce exclusivity or multiplicity semantics. from must be
+// occupied and adjacent to to; to must be empty (otherwise the set view of
+// the move would silently merge nodes — use MoveMerge for gathering).
+func (c Config) Move(from, to int) (Config, error) {
+	from, to = c.r.Norm(from), c.r.Norm(to)
+	if !c.r.Adjacent(from, to) {
+		return Config{}, fmt.Errorf("config: nodes %d and %d are not adjacent", from, to)
+	}
+	if !c.Occupied(from) {
+		return Config{}, fmt.Errorf("config: source node %d is empty", from)
+	}
+	if c.Occupied(to) {
+		return Config{}, fmt.Errorf("config: destination node %d is occupied", to)
+	}
+	nodes := make([]int, 0, len(c.nodes))
+	for _, u := range c.nodes {
+		if u != from {
+			nodes = append(nodes, u)
+		}
+	}
+	nodes = append(nodes, to)
+	return New(c.N(), nodes...)
+}
+
+// MoveMerge is Move but allows the destination to be occupied, in which
+// case the two nodes merge (the configuration loses one occupied node).
+// This is the configuration-level effect of creating a multiplicity.
+func (c Config) MoveMerge(from, to int) (Config, error) {
+	from, to = c.r.Norm(from), c.r.Norm(to)
+	if !c.r.Adjacent(from, to) {
+		return Config{}, fmt.Errorf("config: nodes %d and %d are not adjacent", from, to)
+	}
+	if !c.Occupied(from) {
+		return Config{}, fmt.Errorf("config: source node %d is empty", from)
+	}
+	nodes := make([]int, 0, len(c.nodes))
+	for _, u := range c.nodes {
+		if u != from && u != to {
+			nodes = append(nodes, u)
+		}
+	}
+	nodes = append(nodes, to)
+	return New(c.N(), nodes...)
+}
+
+// Canonical returns a canonical key identifying the configuration up to
+// rotation and reflection of the ring: the supermin view. Two
+// configurations are equivalent (indistinguishable in the anonymous,
+// unoriented model) iff their canonical keys are equal.
+func (c Config) Canonical() string {
+	return c.SuperminView().Key()
+}
+
+// Equal reports whether two configurations occupy the same node sets of
+// equal-size rings (label-sensitive equality, not canonical equivalence).
+func (c Config) Equal(o Config) bool {
+	if c.N() != o.N() || c.K() != o.K() {
+		return false
+	}
+	for i := range c.nodes {
+		if c.nodes[i] != o.nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the configuration as its occupancy word plus supermin,
+// e.g. "n=8 {0,1,2,5} supermin=(0,0,2,2)".
+func (c Config) String() string {
+	return fmt.Sprintf("n=%d %v supermin=%s", c.N(), c.nodes, c.SuperminView())
+}

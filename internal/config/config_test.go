@@ -1,0 +1,490 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringrobots/internal/ring"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 0); err == nil {
+		t.Error("accepted ring with n=2")
+	}
+	if _, err := New(5); err == nil {
+		t.Error("accepted empty configuration")
+	}
+	if _, err := New(5, 0, 0); err == nil {
+		t.Error("accepted duplicate node")
+	}
+	if _, err := New(5, 5); err == nil {
+		t.Error("accepted out-of-range node")
+	}
+	if _, err := New(5, -1); err == nil {
+		t.Error("accepted negative node")
+	}
+	if _, err := New(4, 0, 1, 2, 3, 0); err == nil {
+		t.Error("accepted more nodes than ring size")
+	}
+	c, err := New(6, 3, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Nodes()
+	want := []int{0, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with invalid input did not panic")
+		}
+	}()
+	MustNew(3, 7)
+}
+
+func TestIntervals(t *testing.T) {
+	// n=8, occupied {0,1,2,5}: gaps 0 (0→1), 0 (1→2), 2 (2→5), 2 (5→0).
+	c := MustNew(8, 0, 1, 2, 5)
+	got := c.Intervals()
+	want := View{0, 0, 2, 2}
+	if !got.Equal(want) {
+		t.Fatalf("Intervals = %v, want %v", got, want)
+	}
+	if got.Sum()+c.K() != c.N() {
+		t.Fatal("intervals plus robots do not cover the ring")
+	}
+}
+
+func TestIntervalsSingleRobot(t *testing.T) {
+	c := MustNew(7, 3)
+	got := c.Intervals()
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("Intervals = %v, want (6)", got)
+	}
+}
+
+func TestViewFromBothDirections(t *testing.T) {
+	// Worked example from §3.1 ff: C* with k=5, n=10 at {0,1,2,3,5}.
+	c := MustNew(10, 0, 1, 2, 3, 5)
+	cw := c.ViewFrom(0, ring.CW)
+	if !cw.Equal(View{0, 0, 0, 1, 4}) {
+		t.Errorf("ViewFrom(0, CW) = %v", cw)
+	}
+	ccw := c.ViewFrom(0, ring.CCW)
+	if !ccw.Equal(View{4, 1, 0, 0, 0}) {
+		t.Errorf("ViewFrom(0, CCW) = %v", ccw)
+	}
+	cw3 := c.ViewFrom(3, ring.CW)
+	if !cw3.Equal(View{1, 4, 0, 0, 0}) {
+		t.Errorf("ViewFrom(3, CW) = %v", cw3)
+	}
+	ccw3 := c.ViewFrom(3, ring.CCW)
+	if !ccw3.Equal(View{0, 0, 0, 4, 1}) {
+		t.Errorf("ViewFrom(3, CCW) = %v", ccw3)
+	}
+}
+
+func TestViewFromPanicsOnEmptyNode(t *testing.T) {
+	c := MustNew(10, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("ViewFrom on empty node did not panic")
+		}
+	}()
+	c.ViewFrom(5, ring.CW)
+}
+
+func TestViewSumInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(20)
+		k := 1 + rng.Intn(n)
+		c := MustNew(n, rng.Perm(n)[:k]...)
+		for _, u := range c.Nodes() {
+			for _, d := range []ring.Direction{ring.CW, ring.CCW} {
+				v := c.ViewFrom(u, d)
+				if len(v) != k {
+					t.Fatalf("view length %d, want k=%d", len(v), k)
+				}
+				if v.Sum() != n-k {
+					t.Fatalf("view sum %d, want n-k=%d", v.Sum(), n-k)
+				}
+			}
+		}
+	}
+}
+
+func TestOppositeViewsAreReversals(t *testing.T) {
+	// ViewFrom(u, CCW) must equal the paper's W̄ of ViewFrom(u, CW)...
+	// not exactly: W̄ keeps q0 first. Reading the other direction starts
+	// with the interval behind u, which is the last interval of the CW
+	// view. Verify the exact relationship: ccw = reverse(cw) as a plain
+	// sequence.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(15)
+		k := 1 + rng.Intn(n)
+		c := MustNew(n, rng.Perm(n)[:k]...)
+		for _, u := range c.Nodes() {
+			cw := c.ViewFrom(u, ring.CW)
+			ccw := c.ViewFrom(u, ring.CCW)
+			for i := range cw {
+				if cw[i] != ccw[len(ccw)-1-i] {
+					t.Fatalf("n=%d %v: ccw view is not the plain reversal of cw view: %v vs %v", n, c.Nodes(), cw, ccw)
+				}
+			}
+		}
+	}
+}
+
+func TestFromIntervalsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(16)
+		k := 1 + rng.Intn(n-1)
+		c := MustNew(n, rng.Perm(n)[:k]...)
+		for _, u := range c.Nodes() {
+			v := c.ViewFrom(u, ring.CW)
+			rebuilt, err := FromIntervals(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rebuilt.Equal(c) {
+				t.Fatalf("round trip failed: %v -> %v -> %v", c, v, rebuilt)
+			}
+		}
+	}
+}
+
+func TestFromIntervalsValidation(t *testing.T) {
+	if _, err := FromIntervals(0, View{}); err == nil {
+		t.Error("accepted empty view")
+	}
+	if _, err := FromIntervals(0, View{-1, 3}); err == nil {
+		t.Error("accepted negative interval")
+	}
+	if _, err := FromIntervals(0, View{0}); err == nil {
+		t.Error("accepted a 1-node ring")
+	}
+}
+
+func TestSuperminPaperExamples(t *testing.T) {
+	// W^{C*}_min = (0^{k−2}, 1, n−k−1) — §2.
+	c := MustNew(10, 0, 1, 2, 3, 5)
+	v := c.SuperminView()
+	if !v.Equal(View{0, 0, 0, 1, 4}) {
+		t.Errorf("supermin of C*(10,5) = %v", v)
+	}
+	// Cs: W_min = (0,1,1,2) — §3.1. Build from intervals and verify.
+	cs, err := FromIntervals(0, View{0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.SuperminView().Equal(View{0, 1, 1, 2}) {
+		t.Errorf("supermin of Cs = %v", cs.SuperminView())
+	}
+}
+
+func TestSuperminIsMinimalOverAllViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(14)
+		k := 1 + rng.Intn(n-1)
+		c := MustNew(n, rng.Perm(n)[:k]...)
+		smin, anchors := c.Supermin()
+		if len(anchors) == 0 {
+			t.Fatal("no anchors")
+		}
+		for _, v := range c.Views() {
+			if v.Less(smin) {
+				t.Fatalf("view %v smaller than supermin %v in %v", v, smin, c)
+			}
+		}
+		for _, a := range anchors {
+			if !c.ViewFrom(a.Node, a.Dir).Equal(smin) {
+				t.Fatalf("anchor %v does not realize supermin in %v", a, c)
+			}
+		}
+	}
+}
+
+func TestSuperminFirstIntervalMinimal(t *testing.T) {
+	// §2: in W_min no interval is strictly smaller than q0, and if k < n
+	// the last interval is positive.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(14)
+		k := 1 + rng.Intn(n-1)
+		c := MustNew(n, rng.Perm(n)[:k]...)
+		v := c.SuperminView()
+		for _, q := range v {
+			if q < v[0] {
+				t.Fatalf("supermin %v has interval smaller than q0", v)
+			}
+		}
+		if k < n && v[len(v)-1] == 0 {
+			t.Fatalf("supermin %v of non-full ring ends with 0 (config %v)", v, c)
+		}
+	}
+}
+
+func TestPeriodicSymmetricRigidClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		c         Config
+		periodic  bool
+		symmetric bool
+	}{
+		{"C*(10,5)", MustNew(10, 0, 1, 2, 3, 5), false, false},
+		{"antipodal pair", MustNew(8, 0, 4), true, true}, // invariant under rotation by n/2
+		{"adjacent pair", MustNew(8, 0, 1), false, true},
+		{"square on 8-ring", MustNew(8, 0, 2, 4, 6), true, true},
+		{"period n/2", MustNew(8, 0, 1, 4, 5), true, true},
+		{"single robot", MustNew(5, 2), false, true},
+		{"full ring", MustNew(5, 0, 1, 2, 3, 4), true, true},
+		{"post-Cs (0,0,2,2)", MustNew(8, 0, 1, 2, 5), false, true},
+		{"Cs (0,1,1,2)", MustNew(8, 0, 2, 4, 7), false, false},
+		{"rigid 3 robots", MustNew(7, 0, 1, 3), false, false},
+		{"symmetric 3 robots", MustNew(7, 0, 1, 2), false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.c.IsPeriodic(); got != tc.periodic {
+				t.Errorf("IsPeriodic = %v, want %v", got, tc.periodic)
+			}
+			if got := tc.c.IsSymmetric(); got != tc.symmetric {
+				t.Errorf("IsSymmetric = %v, want %v", got, tc.symmetric)
+			}
+			wantRigid := !tc.periodic && !tc.symmetric
+			if got := tc.c.IsRigid(); got != wantRigid {
+				t.Errorf("IsRigid = %v, want %v", got, wantRigid)
+			}
+		})
+	}
+}
+
+// bruteForceSymmetric checks symmetry by trying all 2n candidate
+// reflections of the ring directly on the occupancy set.
+func bruteForceSymmetric(c Config) bool {
+	n := c.N()
+	occ := make([]bool, n)
+	for _, u := range c.Nodes() {
+		occ[u] = true
+	}
+	// A reflection of Z_n is u ↦ (a − u) mod n for a = 0..2n−1 halved:
+	// all maps u ↦ (a−u) mod n for a in 0..n−1 cover every axis.
+	for a := 0; a < n; a++ {
+		ok := true
+		for u := 0; u < n; u++ {
+			v := ((a-u)%n + n) % n
+			if occ[u] != occ[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// bruteForcePeriodic checks rotation invariance directly.
+func bruteForcePeriodic(c Config) bool {
+	n := c.N()
+	occ := make([]bool, n)
+	for _, u := range c.Nodes() {
+		occ[u] = true
+	}
+	for s := 1; s < n; s++ {
+		ok := true
+		for u := 0; u < n; u++ {
+			if occ[u] != occ[(u+s)%n] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSymmetryPeriodicityAgainstBruteForce(t *testing.T) {
+	// Exhaustive cross-validation of the view-based detection (Property 1)
+	// against direct geometric checks, for every configuration on rings up
+	// to 11 nodes.
+	for n := 3; n <= 11; n++ {
+		for mask := 1; mask < 1<<n; mask++ {
+			var nodes []int
+			for u := 0; u < n; u++ {
+				if mask&(1<<u) != 0 {
+					nodes = append(nodes, u)
+				}
+			}
+			c := MustNew(n, nodes...)
+			if got, want := c.IsSymmetric(), bruteForceSymmetric(c); got != want {
+				t.Fatalf("n=%d nodes=%v: IsSymmetric=%v, brute force=%v", n, nodes, got, want)
+			}
+			if got, want := c.IsPeriodic(), bruteForcePeriodic(c); got != want {
+				t.Fatalf("n=%d nodes=%v: IsPeriodic=%v, brute force=%v", n, nodes, got, want)
+			}
+		}
+	}
+}
+
+func TestProperty1RigidUniqueViews(t *testing.T) {
+	// §2: if a configuration is rigid, each occupied node has a view
+	// different from any other occupied node (for each direction pairing).
+	rng := rand.New(rand.NewSource(23))
+	found := 0
+	for trial := 0; trial < 500 && found < 100; trial++ {
+		n := 5 + rng.Intn(12)
+		k := 2 + rng.Intn(n-3)
+		c := MustNew(n, rng.Perm(n)[:k]...)
+		if !c.IsRigid() {
+			continue
+		}
+		found++
+		seen := make(map[string]int)
+		for _, u := range c.Nodes() {
+			v, _ := c.MinViewFrom(u)
+			if prev, dup := seen[v.Key()]; dup {
+				t.Fatalf("rigid %v: nodes %d and %d share min view %v", c, prev, u, v)
+			}
+			seen[v.Key()] = u
+		}
+	}
+	if found == 0 {
+		t.Fatal("no rigid configurations sampled")
+	}
+}
+
+func TestLemma1SuperminCardinality(t *testing.T) {
+	// Lemma 1: |I_C| = 1 iff rigid or unique axis through the supermin;
+	// |I_C| = 2 iff aperiodic symmetric with axis off superminsor periodic
+	// with period n/2; |I_C| > 2 iff periodic with period ≤ n/3.
+	// We verify the contrapositive-friendly parts exhaustively:
+	// rigid ⇒ |I_C| = 1, |I_C| > 2 ⇒ periodic, |I_C| = 2 ⇒ not rigid.
+	for n := 4; n <= 11; n++ {
+		for mask := 1; mask < 1<<n; mask++ {
+			var nodes []int
+			for u := 0; u < n; u++ {
+				if mask&(1<<u) != 0 {
+					nodes = append(nodes, u)
+				}
+			}
+			c := MustNew(n, nodes...)
+			ic := c.SuperminIntervals()
+			switch {
+			case c.IsRigid() && len(ic) != 1:
+				t.Fatalf("rigid %v has |I_C|=%d", c, len(ic))
+			case len(ic) == 2 && c.IsRigid():
+				t.Fatalf("|I_C|=2 but %v is rigid", c)
+			case len(ic) > 2 && !c.IsPeriodic():
+				t.Fatalf("|I_C|=%d but %v is aperiodic", len(ic), c)
+			}
+		}
+	}
+}
+
+func TestMoveValid(t *testing.T) {
+	c := MustNew(8, 0, 1, 2, 5)
+	moved, err := c.Move(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved.Equal(MustNew(8, 0, 1, 2, 4)) {
+		t.Fatalf("Move result %v", moved)
+	}
+	// Original untouched (immutability).
+	if !c.Equal(MustNew(8, 0, 1, 2, 5)) {
+		t.Fatal("Move mutated the receiver")
+	}
+}
+
+func TestMoveErrors(t *testing.T) {
+	c := MustNew(8, 0, 1, 2, 5)
+	if _, err := c.Move(5, 3); err == nil {
+		t.Error("accepted non-adjacent move")
+	}
+	if _, err := c.Move(4, 3); err == nil {
+		t.Error("accepted move from empty node")
+	}
+	if _, err := c.Move(1, 2); err == nil {
+		t.Error("accepted move onto occupied node")
+	}
+}
+
+func TestMoveMerge(t *testing.T) {
+	c := MustNew(8, 0, 1, 2, 5)
+	merged, err := c.MoveMerge(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.K() != 3 || !merged.Occupied(2) || merged.Occupied(1) {
+		t.Fatalf("MoveMerge result %v", merged)
+	}
+	// MoveMerge onto an empty node behaves like Move.
+	m2, err := c.MoveMerge(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.K() != 4 || !m2.Occupied(4) {
+		t.Fatalf("MoveMerge to empty node: %v", m2)
+	}
+	if _, err := c.MoveMerge(5, 3); err == nil {
+		t.Error("accepted non-adjacent merge")
+	}
+	if _, err := c.MoveMerge(3, 2); err == nil {
+		t.Error("accepted merge from empty node")
+	}
+}
+
+func TestCanonicalInvariantUnderRotationReflection(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(12)
+		k := 1 + rng.Intn(n-1)
+		nodes := rng.Perm(n)[:k]
+		c := MustNew(n, nodes...)
+		shift := rng.Intn(n)
+		rot := make([]int, k)
+		ref := make([]int, k)
+		for i, u := range nodes {
+			rot[i] = (u + shift) % n
+			ref[i] = ((n - u) + shift) % n
+		}
+		if MustNew(n, rot...).Canonical() != c.Canonical() {
+			t.Fatalf("canonical changed under rotation: %v", c)
+		}
+		if MustNew(n, ref...).Canonical() != c.Canonical() {
+			t.Fatalf("canonical changed under reflection: %v", c)
+		}
+	}
+}
+
+func TestOccupied(t *testing.T) {
+	c := MustNew(6, 0, 3)
+	if !c.Occupied(0) || !c.Occupied(3) || !c.Occupied(6) { // 6 ≡ 0
+		t.Error("Occupied misses occupied nodes")
+	}
+	if c.Occupied(1) || c.Occupied(-1) { // -1 ≡ 5
+		t.Error("Occupied reports empty nodes as occupied")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	c := MustNew(8, 0, 1, 2, 5)
+	want := "n=8 [0 1 2 5] supermin=(0,0,2,2)"
+	if got := c.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

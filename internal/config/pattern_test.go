@@ -1,0 +1,139 @@
+package config
+
+import "testing"
+
+func TestPatternLiteral(t *testing.T) {
+	p := Pattern{Lit(0), Lit(1), Lit(1), Lit(2)}
+	if !p.MatchView(View{0, 1, 1, 2}) {
+		t.Error("literal pattern rejected exact match")
+	}
+	if p.MatchView(View{0, 1, 1, 2, 0}) {
+		t.Error("pattern not anchored at end")
+	}
+	if p.MatchView(View{1, 1, 2}) {
+		t.Error("pattern not anchored at start")
+	}
+}
+
+func TestPatternStarPlus(t *testing.T) {
+	// The paper's example: (0,0,0,1,...,1,2,2,...,2) ∈ (0{3}, 1*, 2+).
+	p := Pattern{Rep(3, 0), Star(1), Plus(2)}
+	if !p.MatchView(View{0, 0, 0, 1, 1, 1, 2, 2, 2}) {
+		t.Error("rejected paper example")
+	}
+	if !p.MatchView(View{0, 0, 0, 2}) {
+		t.Error("star should match zero repetitions")
+	}
+	if p.MatchView(View{0, 0, 0, 1, 1}) {
+		t.Error("plus matched zero repetitions")
+	}
+	if p.MatchView(View{0, 0, 1, 2}) {
+		t.Error("rep{3} matched only two zeros")
+	}
+}
+
+func TestPatternMultiElementUnit(t *testing.T) {
+	// {0,1}+ matches (0,1), (0,1,0,1), ...
+	p := Pattern{PatternItem{Seq: []int{0, 1}, Min: 1, Max: -1}}
+	if !p.MatchView(View{0, 1}) || !p.MatchView(View{0, 1, 0, 1, 0, 1}) {
+		t.Error("rejected repeated unit")
+	}
+	if p.MatchView(View{0, 1, 0}) {
+		t.Error("matched partial unit")
+	}
+}
+
+func TestPatternOnConfig(t *testing.T) {
+	// Cs = (0,1,1,2) belongs to Lemma 4's pattern (5): (0,1,1+,2).
+	cs, err := FromIntervals(0, View{0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Matches(Lemma4Pattern5()) {
+		t.Error("Cs does not match pattern (0,1,1+,2)")
+	}
+	// (0,1,1,1,2) on n=9, k=5 also belongs.
+	c2, err := FromIntervals(0, View{0, 1, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Matches(Lemma4Pattern5()) {
+		t.Error("(0,1,1,1,2) does not match pattern (0,1,1+,2)")
+	}
+	// C* does not belong.
+	cstar, _ := CStar(10, 5)
+	if cstar.Matches(Lemma4Pattern5()) {
+		t.Error("C* matches pattern (0,1,1+,2)")
+	}
+}
+
+func TestPatternMatchesAnyView(t *testing.T) {
+	// Matches must try all 2k views: a configuration whose supermin does
+	// not match but whose other reading does.
+	c, err := FromIntervals(0, View{0, 1, 1, 2}) // supermin (0,1,1,2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2,1,1,0) is a rotation read from a different anchor.
+	p := Pattern{Lit(2), Lit(1), Lit(1), Lit(0)}
+	if !c.Matches(p) {
+		t.Error("Matches did not consider non-supermin views")
+	}
+}
+
+func TestLemma4Pattern6Construction(t *testing.T) {
+	p, err := Lemma4Pattern6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ℓ1=2: (0,0,1,{0,1}+,0{0},1) = (0,0,1,{0,1}+,1)
+	if !p.MatchView(View{0, 0, 1, 0, 1, 1}) {
+		t.Error("rejected minimal member for ℓ1=2")
+	}
+	if !p.MatchView(View{0, 0, 1, 0, 1, 0, 1, 1}) {
+		t.Error("rejected two-repetition member for ℓ1=2")
+	}
+	if p.MatchView(View{0, 0, 1, 1}) {
+		t.Error("matched with zero repetitions of the plus unit")
+	}
+	p3, err := Lemma4Pattern6(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ℓ1=3: (0,0,0,1,{0,0,1}+,0,1)
+	if !p3.MatchView(View{0, 0, 0, 1, 0, 0, 1, 0, 1}) {
+		t.Error("rejected minimal member for ℓ1=3")
+	}
+	if _, err := Lemma4Pattern6(1); err == nil {
+		t.Error("accepted ℓ1 < 2")
+	}
+}
+
+func TestLemma5Pattern1(t *testing.T) {
+	p := Lemma5Pattern1()
+	if !p.MatchView(View{0, 1, 1, 1, 2}) {
+		t.Error("rejected minimal member (0,1,1,1,2)")
+	}
+	if p.MatchView(View{0, 1, 1, 2}) {
+		t.Error("matched (0,1,1,2), which needs only pattern (5)")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern{Lit(0), Rep(3, 0), Plus(1), Star(2)}
+	got := p.String()
+	want := "(0,{0}{3},{1}+,{2}*)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestPatternEmpty(t *testing.T) {
+	var p Pattern
+	if !p.MatchView(View{}) {
+		t.Error("empty pattern should match empty view")
+	}
+	if p.MatchView(View{0}) {
+		t.Error("empty pattern matched non-empty view")
+	}
+}

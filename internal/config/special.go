@@ -1,0 +1,97 @@
+package config
+
+import "fmt"
+
+// CStarView returns W^{C*}_min for k robots on an n-node ring:
+// (0^{k−2}, 1, n−k−1). The paper defines C* for 2 ≤ k < n−2 as k−1
+// consecutive occupied nodes, one empty node, one occupied node, and the
+// remaining ≥ 2 consecutive empty nodes (§2).
+func CStarView(n, k int) (View, error) {
+	if k < 2 || k >= n-2 {
+		return nil, fmt.Errorf("config: C* undefined for n=%d, k=%d (need 2 <= k < n-2)", n, k)
+	}
+	v := make(View, k)
+	v[k-2] = 1
+	v[k-1] = n - k - 1
+	return v, nil
+}
+
+// CStar returns a concrete C* configuration on an n-node ring with k
+// robots, occupying nodes 0..k−2 and k.
+func CStar(n, k int) (Config, error) {
+	v, err := CStarView(n, k)
+	if err != nil {
+		return Config{}, err
+	}
+	return FromIntervals(0, v)
+}
+
+// IsCStar reports whether c is (equivalent to) the configuration C* for
+// its own n and k.
+func (c Config) IsCStar() bool {
+	v, err := CStarView(c.N(), c.K())
+	if err != nil {
+		return false
+	}
+	return c.SuperminView().Equal(v)
+}
+
+// IsCStarType reports whether c is a C*-type configuration in the sense of
+// §5: an ordered sequence of j−2 intervals of length 0, one interval of
+// length 1 and one interval of length n−j−1, where j = K() is the number
+// of occupied nodes, 3 ≤ j. (For j = K = k this is exactly C*.) The second
+// return value is j.
+func (c Config) IsCStarType() (bool, int) {
+	j := c.K()
+	if j < 3 {
+		return false, j
+	}
+	v, err := CStarView(c.N(), j)
+	if err != nil {
+		return false, j
+	}
+	return c.SuperminView().Equal(v), j
+}
+
+// CStarTypeAnchor returns, for a C*-type configuration, the node playing
+// the role of the "first node of the sequence" (§5: the node from which the
+// supermin reading (0^{j−2},1,n−j−1) starts) and the node following it in
+// that reading (the contraction target). ok is false if c is not C*-type.
+func (c Config) CStarTypeAnchor() (first, second int, ok bool) {
+	isType, _ := c.IsCStarType()
+	if !isType {
+		return 0, 0, false
+	}
+	_, anchors := c.Supermin()
+	// C*-type configurations with n−j−1 ≥ 2 are rigid, so the anchor is
+	// unique; defensively take the first.
+	a := anchors[0]
+	first = a.Node
+	second = c.r.Step(first, a.Dir)
+	if !c.Occupied(second) {
+		// The first interval of the supermin of a C*-type configuration is
+		// 0 (j ≥ 3), so the next node in reading direction is occupied.
+		panic("config: C*-type anchor invariant violated")
+	}
+	return first, second, true
+}
+
+// CsView is the supermin view of the special configuration Cs of §3
+// (k=4, n=8): the unique rigid configuration from which every reduction
+// creates symmetry.
+func CsView() View { return View{0, 1, 1, 2} }
+
+// IsCs reports whether c is (equivalent to) configuration Cs.
+func (c Config) IsCs() bool {
+	return c.K() == 4 && c.N() == 8 && c.SuperminView().Equal(CsView())
+}
+
+// PostCsView is the supermin view (0,0,2,2) of the symmetric configuration
+// C reached from Cs by reduction_1; a second reduction_1 performed by the
+// unique robot on the symmetry axis then reaches C* (§3.1).
+func PostCsView() View { return View{0, 0, 2, 2} }
+
+// IsPostCs reports whether c is the symmetric intermediate (0,0,2,2).
+func (c Config) IsPostCs() bool {
+	return c.K() == 4 && c.N() == 8 && c.SuperminView().Equal(PostCsView())
+}

@@ -1,0 +1,194 @@
+package config
+
+import (
+	"testing"
+)
+
+func TestCStarView(t *testing.T) {
+	v, err := CStarView(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(View{0, 0, 0, 1, 4}) {
+		t.Errorf("CStarView(10,5) = %v", v)
+	}
+	v, err = CStarView(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(View{0, 0, 1, 3}) {
+		t.Errorf("CStarView(8,4) = %v", v)
+	}
+	if _, err := CStarView(8, 6); err == nil {
+		t.Error("CStarView accepted k >= n-2")
+	}
+	if _, err := CStarView(8, 1); err == nil {
+		t.Error("CStarView accepted k < 2")
+	}
+}
+
+func TestCStarProperties(t *testing.T) {
+	// §2: C* has k−2 intervals of length 0, one of length 1 and one of
+	// length n−k−1 > 1; |I_{C*}| = 1; C* is rigid for k ≥ 3.
+	for n := 6; n <= 16; n++ {
+		for k := 3; k < n-2; k++ {
+			c, err := CStar(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.IsCStar() {
+				t.Fatalf("CStar(%d,%d) does not satisfy IsCStar", n, k)
+			}
+			if !c.IsRigid() {
+				t.Fatalf("CStar(%d,%d) is not rigid", n, k)
+			}
+			if ic := c.SuperminIntervals(); len(ic) != 1 {
+				t.Fatalf("CStar(%d,%d): |I_C| = %d, want 1", n, k, len(ic))
+			}
+			zero, one, big := 0, 0, 0
+			for _, q := range c.Intervals() {
+				switch {
+				case q == 0:
+					zero++
+				case q == 1:
+					one++
+				default:
+					big++
+				}
+			}
+			if zero != k-2 || one != 1 || big != 1 {
+				t.Fatalf("CStar(%d,%d) interval histogram: %d zeros, %d ones, %d big", n, k, zero, one, big)
+			}
+		}
+	}
+}
+
+func TestIsCStarRejectsOthers(t *testing.T) {
+	c := MustNew(10, 0, 1, 2, 3, 6) // (0,0,0,2,3): not C*
+	if c.IsCStar() {
+		t.Error("non-C* configuration accepted")
+	}
+	if ok, _ := c.IsCStarType(); ok {
+		t.Error("non-C*-type configuration accepted")
+	}
+}
+
+func TestIsCStarTypeWithFewerOccupiedNodes(t *testing.T) {
+	// C*-type with j occupied nodes on an n-ring: (0^{j−2}, 1, n−j−1).
+	// This is what gathering produces as multiplicities grow (§5).
+	c := MustNew(10, 0, 1, 3) // j=3: (0,1,6) ✓
+	ok, j := c.IsCStarType()
+	if !ok || j != 3 {
+		t.Fatalf("IsCStarType = (%v,%d), want (true,3)", ok, j)
+	}
+	c2 := MustNew(10, 0, 1, 4) // (0,2,5): not C*-type
+	if ok, _ := c2.IsCStarType(); ok {
+		t.Error("accepted (0,2,5)")
+	}
+	// Two occupied nodes are never C*-type (j ≥ 3 required).
+	c3 := MustNew(10, 0, 2)
+	if ok, _ := c3.IsCStarType(); ok {
+		t.Error("accepted j=2")
+	}
+}
+
+func TestCStarTypeAnchor(t *testing.T) {
+	// For {0,1,2,3,5} on a 10-ring the supermin reading (0,0,0,1,4)
+	// starts at node 0 toward node 1.
+	c := MustNew(10, 0, 1, 2, 3, 5)
+	first, second, ok := c.CStarTypeAnchor()
+	if !ok {
+		t.Fatal("C* not recognized as C*-type")
+	}
+	if first != 0 || second != 1 {
+		t.Fatalf("anchor = (%d,%d), want (0,1)", first, second)
+	}
+	// The same configuration shifted: {2,3,4,5,7} — anchor shifts with it.
+	cShift := MustNew(10, 2, 3, 4, 5, 7)
+	f2, s2, ok := cShift.CStarTypeAnchor()
+	if !ok || f2 != 2 || s2 != 3 {
+		t.Fatalf("shifted anchor = (%d,%d,%v), want (2,3,true)", f2, s2, ok)
+	}
+	// Mirrored: {0,9,8,7,5} on 10-ring: reading goes CCW.
+	cMirror := MustNew(10, 0, 9, 8, 7, 5)
+	f3, s3, ok := cMirror.CStarTypeAnchor()
+	if !ok || f3 != 0 || s3 != 9 {
+		t.Fatalf("mirrored anchor = (%d,%d,%v), want (0,9,true)", f3, s3, ok)
+	}
+	if _, _, ok := MustNew(10, 0, 1, 4).CStarTypeAnchor(); ok {
+		t.Error("anchor reported for non-C*-type configuration")
+	}
+}
+
+func TestCsRecognition(t *testing.T) {
+	cs, err := FromIntervals(0, CsView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.IsCs() {
+		t.Error("Cs not recognized")
+	}
+	if cs.N() != 8 || cs.K() != 4 {
+		t.Errorf("Cs has n=%d k=%d", cs.N(), cs.K())
+	}
+	if !cs.IsRigid() {
+		t.Error("Cs should be rigid")
+	}
+	post, err := FromIntervals(0, PostCsView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !post.IsPostCs() {
+		t.Error("post-Cs not recognized")
+	}
+	if post.IsRigid() {
+		t.Error("post-Cs (0,0,2,2) should be symmetric, not rigid")
+	}
+	if !post.IsSymmetric() || post.IsPeriodic() {
+		t.Error("post-Cs should be symmetric and aperiodic")
+	}
+	if cs.IsPostCs() || post.IsCs() {
+		t.Error("Cs and post-Cs confused with each other")
+	}
+	// A non-(8,4) configuration with a similar view must not match.
+	other := MustNew(9, 0, 2, 4, 7)
+	if other.IsCs() || other.IsPostCs() {
+		t.Error("Cs recognition ignores ring size")
+	}
+}
+
+func TestCsIsOnlyRigidNonCStarFor84(t *testing.T) {
+	// §3.2 (proof of Theorem 1): Cs is the only rigid configuration with
+	// k=4 and n=8 other than C*. Verify by exhaustion.
+	seen := make(map[string]bool)
+	var rigidClasses []string
+	for mask := 0; mask < 1<<8; mask++ {
+		var nodes []int
+		for u := 0; u < 8; u++ {
+			if mask&(1<<u) != 0 {
+				nodes = append(nodes, u)
+			}
+		}
+		if len(nodes) != 4 {
+			continue
+		}
+		c := MustNew(8, nodes...)
+		if !c.IsRigid() {
+			continue
+		}
+		key := c.Canonical()
+		if !seen[key] {
+			seen[key] = true
+			rigidClasses = append(rigidClasses, key)
+		}
+	}
+	if len(rigidClasses) != 2 {
+		t.Fatalf("found %d rigid classes for (k,n)=(4,8): %v, want exactly {C*, Cs}", len(rigidClasses), rigidClasses)
+	}
+	want := map[string]bool{CsView().Key(): true, View{0, 0, 1, 3}.Key(): true}
+	for _, key := range rigidClasses {
+		if !want[key] {
+			t.Fatalf("unexpected rigid class %s for (4,8)", key)
+		}
+	}
+}

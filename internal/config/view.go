@@ -1,0 +1,102 @@
+// Package config implements the configuration algebra of D'Angelo et al.
+// (§2): exclusive configurations on anonymous rings, interval views,
+// the lexicographic supermin view, and the symmetry/periodicity/rigidity
+// classification used by every algorithm in the paper.
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// View is a sequence of interval lengths read around the ring in one
+// direction starting from an occupied node (§2). For an exclusive
+// configuration with k robots on n nodes a view has k entries summing to
+// n−k. Views compare lexicographically.
+type View []int
+
+// Clone returns an independent copy of v.
+func (v View) Clone() View {
+	w := make(View, len(v))
+	copy(w, v)
+	return w
+}
+
+// Cmp compares two views lexicographically, returning -1, 0 or +1.
+// A shorter view that is a prefix of a longer one compares smaller;
+// in practice the algorithms only compare equal-length views.
+func (v View) Cmp(w View) int {
+	for i := 0; i < len(v) && i < len(w); i++ {
+		switch {
+		case v[i] < w[i]:
+			return -1
+		case v[i] > w[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(v) < len(w):
+		return -1
+	case len(v) > len(w):
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether v is lexicographically smaller than w.
+func (v View) Less(w View) bool { return v.Cmp(w) < 0 }
+
+// Equal reports whether v and w are identical sequences.
+func (v View) Equal(w View) bool { return v.Cmp(w) == 0 }
+
+// Rotated returns the view W_i of the paper: v read starting from entry i,
+// i.e. (q_i, q_{i+1 mod k}, …, q_{i+k−1 mod k}).
+func (v View) Rotated(i int) View {
+	k := len(v)
+	w := make(View, k)
+	for j := 0; j < k; j++ {
+		w[j] = v[(i+j)%k]
+	}
+	return w
+}
+
+// Reversed returns the view W̄ of the paper: the same anchor read in the
+// opposite direction, (q_0, q_{k−1}, q_{k−2}, …, q_1).
+func (v View) Reversed() View {
+	k := len(v)
+	w := make(View, k)
+	if k == 0 {
+		return w
+	}
+	w[0] = v[0]
+	for j := 1; j < k; j++ {
+		w[j] = v[k-j]
+	}
+	return w
+}
+
+// Sum returns the total number of empty nodes described by v.
+func (v View) Sum() int {
+	s := 0
+	for _, q := range v {
+		s += q
+	}
+	return s
+}
+
+// String renders the view in the paper's tuple notation, e.g. "(0,0,1,3)".
+func (v View) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, q := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", q)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key returns a compact string usable as a map key.
+func (v View) Key() string { return v.String() }

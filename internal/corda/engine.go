@@ -1,0 +1,159 @@
+package corda
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ringrobots/internal/ring"
+)
+
+// Engine runs one goroutine per robot against a coordinator goroutine that
+// owns the world — a CSP realization of the asynchronous model in which
+// the Go runtime provides genuine (but budgeted) interleaving. Robots
+// communicate with the coordinator exclusively over channels; the world is
+// never shared.
+//
+// The Engine and the AsyncRunner implement the same semantics; the paper's
+// algorithms must behave identically under both (experiment E9).
+type Engine struct {
+	World     *World
+	Algorithm Algorithm
+	Observers []MoveObserver
+
+	// Budget caps the total number of Look operations served.
+	Budget int
+	// Stop, if non-nil, ends the run once it holds (checked between
+	// requests while no move is in flight).
+	Stop func(w *World) bool
+	// Seed drives Either resolutions.
+	Seed int64
+}
+
+type lookRequest struct {
+	id    int
+	reply chan lookReply
+}
+
+type lookReply struct {
+	snap  Snapshot
+	loDir ring.Direction
+	halt  bool
+}
+
+type moveRequest struct {
+	id    int
+	dir   ring.Direction
+	reply chan moveReply
+}
+
+type moveReply struct {
+	err  error
+	halt bool
+}
+
+// Run executes robots until the stop condition holds or the budget is
+// exhausted. It returns the number of Look operations served and the
+// number of moves executed.
+func (e *Engine) Run() (looks, moves int, err error) {
+	if e.Budget <= 0 {
+		return 0, 0, fmt.Errorf("corda: engine needs a positive budget")
+	}
+	k := e.World.K()
+	lookCh := make(chan lookRequest)
+	moveCh := make(chan moveRequest)
+	var wg sync.WaitGroup
+
+	// Robot goroutine: perpetually perform Look-Compute-Move cycles until
+	// the coordinator signals halt.
+	robot := func(id int) {
+		defer wg.Done()
+		lreply := make(chan lookReply, 1)
+		mreply := make(chan moveReply, 1)
+		for {
+			lookCh <- lookRequest{id: id, reply: lreply}
+			lr := <-lreply
+			if lr.halt {
+				return
+			}
+			d := e.Algorithm.Compute(lr.snap)
+			if d == Stay {
+				continue
+			}
+			if lr.snap.Symmetric() {
+				d = Either
+			}
+			// Either is resolved by the coordinator; encode it as the Lo
+			// direction and let the coordinator flip a seeded coin via a
+			// sentinel. To keep the protocol minimal the robot resolves
+			// using the loDir it was handed — the coordinator randomized
+			// that handing for symmetric snapshots.
+			dir, derr := decisionDirection(d, lr.loDir, lr.loDir)
+			if derr != nil {
+				dir = lr.loDir
+			}
+			moveCh <- moveRequest{id: id, dir: dir, reply: mreply}
+			mr := <-mreply
+			if mr.halt {
+				return
+			}
+			if mr.err != nil {
+				return // coordinator records the error and halts everyone
+			}
+		}
+	}
+
+	wg.Add(k)
+	for id := 0; id < k; id++ {
+		go robot(id)
+	}
+
+	rng := rand.New(rand.NewSource(e.Seed))
+	halting := false
+	var firstErr error
+	served := 0
+	halted := 0
+	for halted < k {
+		if !halting && (served >= e.Budget || (e.Stop != nil && e.Stop(e.World))) {
+			halting = true
+		}
+		select {
+		case req := <-lookCh:
+			if halting {
+				req.reply <- lookReply{halt: true}
+				halted++
+				continue
+			}
+			served++
+			looks++
+			snap, loDir := e.World.Snapshot(req.id)
+			if snap.Symmetric() && rng.Intn(2) == 0 {
+				// Adversary choice for indistinguishable directions.
+				loDir = loDir.Opposite()
+			}
+			req.reply <- lookReply{snap: snap, loDir: loDir}
+		case req := <-moveCh:
+			if halting {
+				req.reply <- moveReply{halt: true}
+				halted++
+				continue
+			}
+			ev, merr := e.World.MoveRobot(req.id, req.dir)
+			if merr != nil {
+				firstErr = fmt.Errorf("%s (engine): %w", e.Algorithm.Name(), merr)
+				req.reply <- moveReply{err: merr}
+				halted++
+				halting = true
+				continue
+			}
+			moves++
+			ev.Step = served
+			for _, obs := range e.Observers {
+				obs.ObserveMove(ev, e.World)
+			}
+			req.reply <- moveReply{}
+		}
+	}
+	wg.Wait()
+	return looks, moves, firstErr
+}

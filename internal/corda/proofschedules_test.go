@@ -1,0 +1,162 @@
+package corda
+
+import (
+	"testing"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/ring"
+)
+
+// These tests replay, as executable adversaries, the scheduling arguments
+// the paper's impossibility proofs are built on. They do not prove the
+// theorems (the feasibility package's game solver does); they demonstrate
+// that the model machinery can express each proof's adversary verbatim.
+
+// TestTheorem2DiametralTrap: §4.2, Theorem 2, even n. Two robots in a
+// diametral configuration running any "walk somewhere" algorithm are
+// scheduled so both look before either moves; if the algorithm moves them
+// symmetrically, the configuration stays diametral forever.
+func TestTheorem2DiametralTrap(t *testing.T) {
+	n := 8
+	// A natural 2-robot strategy: walk along your smaller side; when the
+	// views are equal (diametral), pick "either" and let the adversary
+	// choose.
+	walker := AlgorithmFunc{Label: "naive-2-searcher", Fn: func(s Snapshot) Decision {
+		if s.Lo[0] == 0 {
+			return Stay // adjacent: hold position
+		}
+		if s.Symmetric() {
+			return Either
+		}
+		return TowardLo
+	}}
+	w := FromConfig(config.MustNew(n, 0, 4), true) // diametral on an 8-ring
+	if !w.Ring().Diametral(0, 4) {
+		t.Fatal("fixture not diametral")
+	}
+	// Adversary: both robots look (computing Either), then both moves
+	// execute — resolved so the robots rotate the same way, keeping the
+	// configuration diametral. Repeat.
+	script := &Script{}
+	for i := 0; i < 10; i++ {
+		script.Actions = append(script.Actions,
+			Action{Kind: ActLookCompute, Robot: 0},
+			Action{Kind: ActLookCompute, Robot: 1},
+			Action{Kind: ActMove, Robot: 0},
+			Action{Kind: ActMove, Robot: 1},
+		)
+		script.Either = append(script.Either, ring.CW, ring.CW)
+	}
+	r := NewAsyncRunner(w, walker, script)
+	for i := 0; i < len(script.Actions); i++ {
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, v := w.Position(0), w.Position(1)
+	if !w.Ring().Diametral(u, v) {
+		t.Fatalf("adversary failed to maintain the diametral trap: robots at %d,%d", u, v)
+	}
+}
+
+// TestLemma7SymmetricScheduling: §4.2, Lemma 7. An even number of robots
+// in a configuration symmetric about an axis through an empty node v, on
+// an odd ring: scheduling mirror robots simultaneously preserves the
+// axis, so v can never be occupied without a collision.
+func TestLemma7SymmetricScheduling(t *testing.T) {
+	n := 9
+	// Axis through empty node 0 (and the edge across). Mirror pairs:
+	// (1,8), (3,6). The configuration {1,3,6,8} is symmetric under
+	// u ↦ −u mod 9.
+	c := config.MustNew(n, 1, 3, 6, 8)
+	if !c.IsSymmetric() || c.IsPeriodic() {
+		t.Fatal("fixture must be symmetric and aperiodic")
+	}
+	// A protocol that marches robots toward the axis node 0.
+	marcher := AlgorithmFunc{Label: "march-to-axis", Fn: func(s Snapshot) Decision {
+		if s.Symmetric() {
+			return Either
+		}
+		return TowardLo
+	}}
+	w := FromConfig(c, true)
+	// The adversary alternates the mirror pair (robots 0 and 3 sit at
+	// nodes 1 and 8): both look, then both move. Their mirrored views
+	// force mirrored decisions; if both ever target node 0 the second
+	// move is a collision — which is precisely Lemma 7's argument that
+	// the task is unachievable, not a model bug.
+	script := &Script{Actions: []Action{
+		{Kind: ActLookCompute, Robot: 0},
+		{Kind: ActLookCompute, Robot: 3},
+		{Kind: ActMove, Robot: 0},
+		{Kind: ActMove, Robot: 3},
+	}}
+	r := NewAsyncRunner(w, marcher, script)
+	var err error
+	for i := 0; i < len(script.Actions) && err == nil; i++ {
+		_, err = r.Step()
+	}
+	if err == nil {
+		// No collision this round: the mirror property must persist.
+		pos := w.Positions()
+		mirror := map[int]bool{}
+		for _, u := range pos {
+			mirror[(n-u)%n] = true
+		}
+		for _, u := range pos {
+			if !mirror[u] {
+				t.Fatalf("mirror symmetry broken: positions %v", pos)
+			}
+		}
+	}
+	// Either outcome (collision or preserved symmetry) realizes the
+	// lemma's dichotomy; reaching here means the machinery expressed it.
+}
+
+// TestTheorem4PendingMoveTrap: §4.2, Theorem 4 (k = n−2) uses the
+// signature asynchronous trick: one of two symmetric robots looks and
+// computes, its move is held pending, the twin then acts, and releasing
+// the pending move causes a collision. We reproduce the mechanism.
+func TestTheorem4PendingMoveTrap(t *testing.T) {
+	n := 6
+	// k = n−2 = 4: occupied {0,1,3,4}, holes at 2 and 5. Symmetric.
+	c := config.MustNew(n, 0, 1, 3, 4)
+	if !c.IsSymmetric() {
+		t.Fatal("fixture must be symmetric")
+	}
+	// Protocol: robots adjacent to a hole move into it (choosing the Lo
+	// side; symmetric robots let the adversary pick).
+	filler := AlgorithmFunc{Label: "hole-filler", Fn: func(s Snapshot) Decision {
+		if s.Lo[0] > 0 {
+			if s.Symmetric() {
+				return Either
+			}
+			return TowardLo
+		}
+		return Stay
+	}}
+	w := FromConfig(c, true)
+	// Robots 1 (node 1) and 2 (node 3) both border hole 2. The adversary
+	// lets robot 1 look (deciding to enter the hole), HOLDS the move,
+	// lets robot 2 look and move into the hole first, then releases
+	// robot 1's stale move — a collision on node 2.
+	script := &Script{
+		Actions: []Action{
+			{Kind: ActLookCompute, Robot: 1},
+			{Kind: ActLookCompute, Robot: 2},
+			{Kind: ActMove, Robot: 2},
+			{Kind: ActMove, Robot: 1},
+		},
+		Either: []ring.Direction{ring.CW, ring.CCW},
+	}
+	r := NewAsyncRunner(w, filler, script)
+	var err error
+	steps := 0
+	for steps < len(script.Actions) && err == nil {
+		_, err = r.Step()
+		steps++
+	}
+	if err == nil {
+		t.Fatalf("pending-move trap did not produce a collision (world %v)", w)
+	}
+}

@@ -1,0 +1,202 @@
+package corda
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/ring"
+)
+
+// Property-based checks of the model substrate.
+
+func randomWorld(seed int64, exclusive bool) *World {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(28)
+	k := 1 + rng.Intn(n-1)
+	var positions []int
+	if exclusive {
+		positions = rng.Perm(n)[:k]
+	} else {
+		positions = make([]int, k)
+		for i := range positions {
+			positions[i] = rng.Intn(n)
+		}
+	}
+	w, err := NewWorld(n, positions, exclusive)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func TestQuickSnapshotViewsAreMutualReversals(t *testing.T) {
+	// For every robot, the Hi view read backwards is the Lo view rotated
+	// to start at the same interval — concretely: the two directional
+	// views are plain reversals of each other.
+	f := func(seed int64) bool {
+		w := randomWorld(seed, true)
+		for id := 0; id < w.K(); id++ {
+			snap, loDir := w.Snapshot(id)
+			if snap.Hi.Less(snap.Lo) {
+				return false
+			}
+			u := w.Position(id)
+			cfg := w.Config()
+			if !cfg.ViewFrom(u, loDir).Equal(snap.Lo) {
+				return false
+			}
+			if !cfg.ViewFrom(u, loDir.Opposite()).Equal(snap.Hi) {
+				return false
+			}
+			for i := range snap.Lo {
+				if snap.Lo[i] != snap.Hi[len(snap.Hi)-1-i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSnapshotSumInvariant(t *testing.T) {
+	// Lo and Hi always describe the same ring: k intervals summing to n−j
+	// where j is the number of occupied nodes.
+	f := func(seed int64) bool {
+		w := randomWorld(seed, false)
+		w.EnableMultiplicityDetection()
+		occupied := w.Config().K()
+		for id := 0; id < w.K(); id++ {
+			snap, _ := w.Snapshot(id)
+			if snap.OccupiedNodes() != occupied {
+				return false
+			}
+			if snap.Lo.Sum() != w.N()-occupied || snap.Hi.Sum() != w.N()-occupied {
+				return false
+			}
+			if snap.N() != w.N() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMoveRobotPreservesCountInvariants(t *testing.T) {
+	// After any sequence of random legal moves, per-node counts sum to k
+	// and match positions exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWorld(seed, false)
+		for step := 0; step < 50; step++ {
+			id := rng.Intn(w.K())
+			dir := ring.CW
+			if rng.Intn(2) == 0 {
+				dir = ring.CCW
+			}
+			if _, err := w.MoveRobot(id, dir); err != nil {
+				return false // non-exclusive world: moves never fail
+			}
+		}
+		counts := make([]int, w.N())
+		for id := 0; id < w.K(); id++ {
+			counts[w.Position(id)]++
+		}
+		total := 0
+		for u := 0; u < w.N(); u++ {
+			if w.CountAt(u) != counts[u] {
+				return false
+			}
+			total += counts[u]
+		}
+		return total == w.K()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConfigRunsPartitionRing(t *testing.T) {
+	// Runs() must partition the occupied nodes, with gaps summing to the
+	// empty nodes.
+	f := func(seed int64) bool {
+		w := randomWorld(seed, true)
+		c := w.Config()
+		runs := c.Runs()
+		robots, gaps := 0, 0
+		for _, r := range runs {
+			robots += r.Len
+			gaps += r.GapAfter
+			// Every node of the run is occupied; the node past its end is
+			// not (unless the ring is full).
+			for i := 0; i < r.Len; i++ {
+				if !c.Occupied(c.Ring().Norm(r.Start + i)) {
+					return false
+				}
+			}
+		}
+		if c.K() == c.N() {
+			return robots == c.N() && gaps == 0
+		}
+		return robots == c.K() && gaps == c.N()-c.K()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAsyncNeverDeadlocksWithMovers(t *testing.T) {
+	// Failure injection: under any random async schedule, if some robot
+	// wants to move, the runner keeps making scheduling progress (no
+	// livelock in the harness itself).
+	f := func(seed int64) bool {
+		w := randomWorld(seed, false)
+		w.EnableMultiplicityDetection()
+		walker := AlgorithmFunc{Label: "walker", Fn: func(s Snapshot) Decision {
+			if s.Symmetric() {
+				return Either
+			}
+			return TowardLo
+		}}
+		r := NewAsyncRunner(w, walker, NewRandomAsync(seed, 0.5))
+		for i := 0; i < 200; i++ {
+			if _, err := r.Step(); err != nil {
+				return false
+			}
+		}
+		return r.Moves() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConfigIntervalViewDuality(t *testing.T) {
+	// Rebuilding a configuration from any robot's view is the identity up
+	// to relabeling: the rebuilt configuration has the same supermin.
+	f := func(seed int64) bool {
+		w := randomWorld(seed, true)
+		c := w.Config()
+		for _, u := range c.Nodes() {
+			v := c.ViewFrom(u, ring.CW)
+			rebuilt, err := config.FromIntervals(0, v)
+			if err != nil {
+				return false
+			}
+			if rebuilt.Canonical() != c.Canonical() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package corda
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceRecorder is a MoveObserver that keeps executed moves (up to Cap,
+// 0 = unbounded) together with the configuration after each move.
+type TraceRecorder struct {
+	Cap    int
+	Events []MoveEvent
+	Keys   []string // world StateKey after each event
+
+	dropped int
+}
+
+// ObserveMove implements MoveObserver.
+func (t *TraceRecorder) ObserveMove(ev MoveEvent, w *World) {
+	if t.Cap > 0 && len(t.Events) >= t.Cap {
+		t.dropped++
+		return
+	}
+	t.Events = append(t.Events, ev)
+	t.Keys = append(t.Keys, w.StateKey())
+}
+
+// Dropped returns the number of events discarded past the cap.
+func (t *TraceRecorder) Dropped() int { return t.dropped }
+
+// String renders a compact trace like "r2:5→6 r0:0→7 …".
+func (t *TraceRecorder) String() string {
+	var b strings.Builder
+	for i, ev := range t.Events {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "r%d:%d→%d", ev.Robot, ev.From, ev.To)
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(&b, " …(+%d)", t.dropped)
+	}
+	return b.String()
+}
+
+// CycleDetector finds the first recurrence of a state key sequence —
+// used to certify that a perpetual algorithm has entered its steady-state
+// loop and to measure the loop's period.
+type CycleDetector struct {
+	seen  map[string]int
+	Start int // index of the first state of the detected cycle
+	Len   int // cycle length (0 until detected)
+	count int
+}
+
+// NewCycleDetector returns an empty detector.
+func NewCycleDetector() *CycleDetector {
+	return &CycleDetector{seen: make(map[string]int)}
+}
+
+// Offer records a state key and reports whether a cycle just closed.
+func (c *CycleDetector) Offer(key string) bool {
+	if c.Len > 0 {
+		return true
+	}
+	if at, ok := c.seen[key]; ok {
+		c.Start = at
+		c.Len = c.count - at
+		return true
+	}
+	c.seen[key] = c.count
+	c.count++
+	return false
+}
+
+// Detected reports whether a cycle has been found.
+func (c *CycleDetector) Detected() bool { return c.Len > 0 }

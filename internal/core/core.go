@@ -1,0 +1,173 @@
+// Package core exposes the paper's unified approach as a single API:
+// given a task (perpetual exploration, perpetual graph searching, or
+// gathering) and the ring parameters, it returns the min-CORDA algorithm
+// that solves it from any rigid exclusive starting configuration, plus
+// the feasibility characterization of §1/§6.
+package core
+
+import (
+	"fmt"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/gather"
+	"ringrobots/internal/search"
+)
+
+// Task enumerates the three problems unified by the paper.
+type Task int
+
+const (
+	// Exploration is exclusive perpetual exploration: every robot visits
+	// every node infinitely often (§4.1).
+	Exploration Task = iota
+	// Searching is exclusive perpetual graph searching: the robots clear
+	// all edges of the recontaminating ring infinitely often (§4.1).
+	Searching
+	// Gathering moves all robots onto one node, forever (§5).
+	Gathering
+)
+
+func (t Task) String() string {
+	switch t {
+	case Exploration:
+		return "exploration"
+	case Searching:
+		return "searching"
+	case Gathering:
+		return "gathering"
+	}
+	return fmt.Sprintf("Task(%d)", int(t))
+}
+
+// New returns the paper's algorithm for the task on an n-node ring with k
+// robots, or an error when the parameters fall outside the ranges the
+// paper proves solvable.
+//
+// Exploration and Searching share their algorithms (Theorems 6 and 7):
+// Ring Clearing for 5 ≤ k < n−3 (n ≥ 10, except (5,10)) and NminusThree
+// for k = n−3 (n ≥ 10). Gathering uses Align + Contraction (Theorem 8)
+// for 2 < k < n−2.
+func New(task Task, n, k int) (corda.Algorithm, error) {
+	switch task {
+	case Exploration, Searching:
+		if k == n-3 {
+			alg := search.NminusThree{}
+			if err := alg.Validate(n, k); err != nil {
+				return nil, err
+			}
+			return alg, nil
+		}
+		alg := search.RingClearing{}
+		if err := alg.Validate(n, k); err != nil {
+			return nil, err
+		}
+		return alg, nil
+	case Gathering:
+		if err := gather.Validate(n, k); err != nil {
+			return nil, err
+		}
+		return gather.Gathering{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown task %v", task)
+}
+
+// NewWorld builds the world matching the task's capability model from a
+// rigid exclusive starting configuration: exclusive worlds for the two
+// perpetual tasks, a multiplicity-detecting non-exclusive world for
+// gathering.
+func NewWorld(task Task, c config.Config) (*corda.World, error) {
+	if !c.IsRigid() {
+		return nil, fmt.Errorf("core: starting configuration %v is not rigid; the paper's algorithms require rigid starts", c)
+	}
+	if _, err := New(task, c.N(), c.K()); err != nil {
+		return nil, err
+	}
+	if task == Gathering {
+		return gather.NewWorld(c)
+	}
+	return corda.FromConfig(c, true), nil
+}
+
+// Verdict classifies a parameter pair for a task.
+type Verdict int
+
+const (
+	// Solvable: the paper gives an algorithm.
+	Solvable Verdict = iota
+	// Impossible: the paper proves no algorithm exists.
+	Impossible
+	// Open: explicitly left open by the paper.
+	Open
+	// NoRigidStart: no rigid exclusive starting configuration exists, so
+	// the paper's setting (rigid starts) is empty.
+	NoRigidStart
+	// Degenerate: outside the model (k > n for exclusive tasks, k = n
+	// with no possible move, or rings below the n ≥ 3 minimum).
+	Degenerate
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Solvable:
+		return "solvable"
+	case Impossible:
+		return "impossible"
+	case Open:
+		return "open"
+	case NoRigidStart:
+		return "no-rigid-start"
+	case Degenerate:
+		return "degenerate"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// CharacterizeSearching reproduces the paper's almost-complete
+// characterization of exclusive perpetual graph searching on rings
+// (Contribution, §4): for which (n, k) an algorithm exists, with the
+// theorem or reason backing each verdict.
+func CharacterizeSearching(n, k int) (Verdict, string) {
+	switch {
+	case n < 3 || k < 1 || k > n:
+		return Degenerate, "outside the model (need n ≥ 3, 1 ≤ k ≤ n)"
+	case k == n:
+		return Degenerate, "all nodes occupied: no robot can ever move (not addressed by the paper)"
+	case k <= 2:
+		return Impossible, "Theorem 2: one or two robots can never perpetually clear a ring"
+	case k == 3:
+		return Impossible, "Theorem 3: three robots can never perpetually clear a ring (n > 3)"
+	case n <= 9:
+		return Impossible, "Theorem 5: no algorithm for 2 < n ≤ 9 and k < n"
+	case k == n-1:
+		return Impossible, "Lemma 6: the two robots at the hole collide or never move"
+	case k == n-2:
+		return Impossible, "Theorem 4: all configurations with two holes are symmetric"
+	case k == 4:
+		return Open, "left open by the paper (k = 4, n > 9)"
+	case k == 5 && n == 10:
+		return Open, "left open by the paper (k = 5, n = 10)"
+	case k == n-3:
+		return Solvable, "Theorem 7: Algorithm NminusThree"
+	case k >= 5 && k < n-3:
+		return Solvable, "Theorem 6: Algorithm Ring Clearing"
+	}
+	return Degenerate, "unreachable"
+}
+
+// CharacterizeGathering reproduces Theorem 8's range for gathering from
+// rigid configurations with local multiplicity detection.
+func CharacterizeGathering(n, k int) (Verdict, string) {
+	switch {
+	case n < 3 || k < 1 || k > n:
+		return Degenerate, "outside the model"
+	case k == 1:
+		return Solvable, "trivial: a single robot is always gathered"
+	case k == 2:
+		return Impossible, "two robots cannot gather on a ring (symmetry cannot be broken)"
+	case k >= n-2:
+		return NoRigidStart, "every configuration with k ≥ n−2 is symmetric or periodic (§5)"
+	default:
+		return Solvable, "Theorem 8: Align + Contraction with local multiplicity detection"
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/enumerate"
+	"ringrobots/internal/search"
+)
+
+func TestNewDispatch(t *testing.T) {
+	alg, err := New(Searching, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "ring-clearing" {
+		t.Errorf("searching (6,12) dispatched to %s", alg.Name())
+	}
+	alg, err = New(Exploration, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "n-minus-three" {
+		t.Errorf("exploration k=n-3 dispatched to %s", alg.Name())
+	}
+	alg, err = New(Gathering, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "gathering" {
+		t.Errorf("gathering dispatched to %s", alg.Name())
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	cases := []struct {
+		task Task
+		n, k int
+	}{
+		{Searching, 9, 5},   // n ≤ 9 impossible
+		{Searching, 12, 4},  // k=4 open
+		{Searching, 10, 5},  // (5,10) open
+		{Searching, 12, 10}, // k=n-2 impossible
+		{Exploration, 12, 3},
+		{Gathering, 12, 2},
+		{Gathering, 7, 5}, // n = k+2
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.task, tc.n, tc.k); err == nil {
+			t.Errorf("New(%v, n=%d, k=%d) accepted out-of-range parameters", tc.task, tc.n, tc.k)
+		}
+	}
+}
+
+func TestNewWorldCapabilities(t *testing.T) {
+	c, _ := config.CStar(12, 6)
+	w, err := NewWorld(Searching, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Exclusive() {
+		t.Error("searching world must be exclusive")
+	}
+	wg, err := NewWorld(Gathering, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wg.Exclusive() {
+		t.Error("gathering world must allow multiplicities")
+	}
+	sym := config.MustNew(12, 0, 1, 3, 9, 11)
+	if !sym.IsSymmetric() {
+		t.Fatal("fixture not symmetric")
+	}
+	if _, err := NewWorld(Searching, sym); err == nil {
+		t.Error("accepted symmetric start")
+	}
+}
+
+func TestEndToEndSearchingFromRigidStarts(t *testing.T) {
+	// The unified two-phase flow: arbitrary rigid start → Align → phase 2
+	// cycle, certified by the perpetual verifier. A sample of rigid
+	// classes for (6,12) and (8,11) [k = n−3].
+	for _, tc := range []struct{ n, k int }{{12, 6}, {11, 8}} {
+		classes, err := enumerate.RigidClasses(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg, err := New(Searching, tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := len(classes)/6 + 1
+		for i := 0; i < len(classes); i += step {
+			rep, err := search.Verify(classes[i], alg, 2000*tc.n*tc.k)
+			if err != nil {
+				t.Fatalf("(%d,%d) from %v: %v", tc.n, tc.k, classes[i], err)
+			}
+			if rep.Probes == 0 || !rep.Explored {
+				t.Fatalf("(%d,%d) from %v: weak report %+v", tc.n, tc.k, classes[i], rep)
+			}
+		}
+	}
+}
+
+func TestEndToEndGathering(t *testing.T) {
+	classes, err := enumerate.RigidClasses(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := New(Gathering, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range classes {
+		w, err := NewWorld(Gathering, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := corda.NewRunner(w, alg)
+		reason, err := r.RunUntil((*corda.World).Gathered, 50000)
+		if err != nil {
+			t.Fatalf("from %v: %v", c, err)
+		}
+		if reason != corda.StopCondition {
+			t.Fatalf("from %v: %v", c, reason)
+		}
+	}
+}
+
+func TestCharacterizeSearchingMatchesPaper(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want Verdict
+	}{
+		{7, 4, Impossible},   // Theorem 5
+		{8, 4, Impossible},   // Theorem 5
+		{9, 6, Impossible},   // Theorem 5
+		{12, 1, Impossible},  // trivial
+		{12, 2, Impossible},  // Theorem 2
+		{12, 3, Impossible},  // Theorem 3
+		{12, 4, Open},        // open
+		{10, 5, Open},        // open
+		{11, 5, Solvable},    // Theorem 6
+		{12, 8, Solvable},    // Theorem 6
+		{12, 9, Solvable},    // Theorem 7 (k=n-3)
+		{12, 10, Impossible}, // Theorem 4 (k=n-2)
+		{12, 11, Impossible}, // Lemma 6 (k=n-1)
+		{12, 12, Degenerate},
+		{2, 1, Degenerate},
+	}
+	for _, tc := range cases {
+		got, reason := CharacterizeSearching(tc.n, tc.k)
+		if got != tc.want {
+			t.Errorf("CharacterizeSearching(n=%d, k=%d) = %v (%s), want %v", tc.n, tc.k, got, reason, tc.want)
+		}
+		if reason == "" {
+			t.Errorf("empty reason for (n=%d, k=%d)", tc.n, tc.k)
+		}
+	}
+}
+
+func TestCharacterizeSearchingTotal(t *testing.T) {
+	// Every (n, k) in a grid gets a verdict, and verdicts are consistent
+	// with New()'s acceptance.
+	for n := 3; n <= 20; n++ {
+		for k := 1; k <= n; k++ {
+			v, _ := CharacterizeSearching(n, k)
+			_, err := New(Searching, n, k)
+			if v == Solvable && err != nil {
+				t.Errorf("(n=%d,k=%d) characterized solvable but New fails: %v", n, k, err)
+			}
+			if v != Solvable && err == nil {
+				t.Errorf("(n=%d,k=%d) characterized %v but New accepts", n, k, v)
+			}
+		}
+	}
+}
+
+func TestCharacterizeGathering(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want Verdict
+	}{
+		{10, 1, Solvable},
+		{10, 2, Impossible},
+		{10, 5, Solvable},
+		{10, 7, Solvable},
+		{10, 8, NoRigidStart},
+		{10, 9, NoRigidStart},
+		{10, 10, NoRigidStart},
+		{2, 1, Degenerate},
+	}
+	for _, tc := range cases {
+		got, _ := CharacterizeGathering(tc.n, tc.k)
+		if got != tc.want {
+			t.Errorf("CharacterizeGathering(n=%d, k=%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestCharacterizeGatheringAgainstEnumeration(t *testing.T) {
+	// NoRigidStart verdicts must match the actual absence of rigid
+	// configurations (exhaustive for n ≤ 11).
+	for n := 5; n <= 11; n++ {
+		for k := 3; k <= n; k++ {
+			v, _ := CharacterizeGathering(n, k)
+			has, err := enumerate.HasRigid(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == NoRigidStart && has {
+				t.Errorf("(n=%d,k=%d): verdict no-rigid-start but rigid configurations exist", n, k)
+			}
+			if v == Solvable && !has {
+				t.Errorf("(n=%d,k=%d): verdict solvable but no rigid start exists", n, k)
+			}
+		}
+	}
+}
+
+func TestTaskAndVerdictStrings(t *testing.T) {
+	if Exploration.String() != "exploration" || Searching.String() != "searching" || Gathering.String() != "gathering" {
+		t.Error("task strings wrong")
+	}
+	for v, want := range map[Verdict]string{
+		Solvable: "solvable", Impossible: "impossible", Open: "open",
+		NoRigidStart: "no-rigid-start", Degenerate: "degenerate",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", int(v), v.String())
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringrobots/internal/config"
+)
+
+func TestCountMatchesPaperFigures(t *testing.T) {
+	// The paper's impossibility proofs enumerate the distinct exclusive
+	// configurations up to rotation and reflection (Theorem 5):
+	//   Fig 4: (k,n)=(4,7) → 4      Fig 5: (4,8) → 8
+	//   Fig 6: (5,8) → 5            Fig 7: (6,9) → 7
+	//   Fig 8: (4,9) → 10           Fig 9: (5,9) → 10
+	cases := []struct{ k, n, want int }{
+		{4, 7, 4},
+		{4, 8, 8},
+		{5, 8, 5},
+		{6, 9, 7},
+		{4, 9, 10},
+		{5, 9, 10},
+	}
+	for _, c := range cases {
+		got, err := Count(c.n, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Count(n=%d, k=%d) = %d, want %d (paper figure)", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestClassesAreCanonicalAndDistinct(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		for k := 1; k <= n; k++ {
+			cls, err := Classes(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[string]bool)
+			for _, c := range cls {
+				if c.N() != n || c.K() != k {
+					t.Fatalf("class with wrong size: %v", c)
+				}
+				key := c.Canonical()
+				if seen[key] {
+					t.Fatalf("duplicate class %s for n=%d k=%d", key, n, k)
+				}
+				seen[key] = true
+				// Representative is anchored: rebuilding from its supermin
+				// view at node 0 is the identity.
+				rebuilt, err := config.FromIntervals(0, c.SuperminView())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rebuilt.Equal(c) {
+					t.Fatalf("representative %v is not canonical", c)
+				}
+			}
+		}
+	}
+}
+
+func TestClassesOrdered(t *testing.T) {
+	cls, err := Classes(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cls); i++ {
+		if cls[i].SuperminView().Less(cls[i-1].SuperminView()) {
+			t.Fatal("classes not ordered by supermin view")
+		}
+	}
+}
+
+func TestClassesCoverEverySubset(t *testing.T) {
+	// Every k-subset of Z_n must canonicalize to one of the returned
+	// classes.
+	n, k := 9, 4
+	cls, err := Classes(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool, len(cls))
+	for _, c := range cls {
+		keys[c.Canonical()] = true
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		var nodes []int
+		for u := 0; u < n; u++ {
+			if mask&(1<<u) != 0 {
+				nodes = append(nodes, u)
+			}
+		}
+		if len(nodes) != k {
+			continue
+		}
+		c := config.MustNew(n, nodes...)
+		if !keys[c.Canonical()] {
+			t.Fatalf("subset %v canonical key %s missing from classes", nodes, c.Canonical())
+		}
+	}
+}
+
+func TestCountEdgeCases(t *testing.T) {
+	if _, err := Count(5, 0); err == nil {
+		t.Error("Count accepted k=0")
+	}
+	if _, err := Count(5, 6); err == nil {
+		t.Error("Count accepted k>n")
+	}
+	got, err := Count(5, 5)
+	if err != nil || got != 1 {
+		t.Errorf("Count(5,5) = %d,%v; want 1", got, err)
+	}
+	got, err = Count(7, 1)
+	if err != nil || got != 1 {
+		t.Errorf("Count(7,1) = %d,%v; want 1", got, err)
+	}
+	// k=2 on an n-ring: classes are determined by the distance 1..⌊n/2⌋.
+	got, err = Count(8, 2)
+	if err != nil || got != 4 {
+		t.Errorf("Count(8,2) = %d,%v; want 4", got, err)
+	}
+	got, err = Count(9, 2)
+	if err != nil || got != 4 {
+		t.Errorf("Count(9,2) = %d,%v; want 4", got, err)
+	}
+}
+
+func TestRigidClasses(t *testing.T) {
+	// (k,n)=(4,8): exactly two rigid classes, C* and Cs (§3.2).
+	rigid, err := RigidClasses(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rigid) != 2 {
+		t.Fatalf("RigidClasses(8,4) = %d classes, want 2", len(rigid))
+	}
+	for _, c := range rigid {
+		if !c.IsRigid() {
+			t.Fatalf("non-rigid class %v returned", c)
+		}
+	}
+	// No rigid configurations exist for k = n−1 or k = n−2 or n ≤ 4 (§5).
+	for _, tc := range []struct{ n, k int }{{8, 7}, {8, 6}, {4, 2}, {4, 3}} {
+		rigid, err := RigidClasses(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rigid) != 0 {
+			t.Errorf("RigidClasses(%d,%d) = %d classes, want 0", tc.n, tc.k, len(rigid))
+		}
+	}
+}
+
+func TestHasRigid(t *testing.T) {
+	ok, err := HasRigid(8, 4)
+	if err != nil || !ok {
+		t.Errorf("HasRigid(8,4) = %v,%v", ok, err)
+	}
+	ok, err = HasRigid(8, 6)
+	if err != nil || ok {
+		t.Errorf("HasRigid(8,6) = %v,%v; want false (k=n-2)", ok, err)
+	}
+}
+
+func TestRandomRigid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(40)
+		k := 3 + rng.Intn(n-6)
+		c, err := RandomRigid(rng, n, k, 1000)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, k, err)
+		}
+		if !c.IsRigid() || c.N() != n || c.K() != k {
+			t.Fatalf("RandomRigid returned %v", c)
+		}
+	}
+}
+
+func TestRandomRigidFailsWhenNoneExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomRigid(rng, 8, 7, 200); err == nil {
+		t.Error("RandomRigid found a rigid configuration with k=n-1")
+	}
+	if _, err := RandomRigid(rng, 8, 8, 10); err == nil {
+		t.Error("RandomRigid accepted k=n")
+	}
+	if _, err := RandomRigid(rng, 8, 0, 10); err == nil {
+		t.Error("RandomRigid accepted k=0")
+	}
+}
+
+func TestClassCountAgainstBurnside(t *testing.T) {
+	// Independent count via Burnside's lemma on the dihedral group D_n
+	// acting on k-subsets of Z_n.
+	for n := 3; n <= 12; n++ {
+		for k := 1; k <= n; k++ {
+			got, err := Count(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := burnsideCount(n, k); got != want {
+				t.Errorf("Count(%d,%d) = %d, Burnside = %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+// burnsideCount counts orbits of k-subsets of Z_n under the dihedral group
+// by direct fixed-point counting (n is small).
+func burnsideCount(n, k int) int {
+	total := 0
+	// Rotations.
+	for s := 0; s < n; s++ {
+		total += fixedSubsets(n, k, func(u int) int { return (u + s) % n })
+	}
+	// Reflections u ↦ (a−u) mod n.
+	for a := 0; a < n; a++ {
+		total += fixedSubsets(n, k, func(u int) int { return ((a-u)%n + n) % n })
+	}
+	return total / (2 * n)
+}
+
+func fixedSubsets(n, k int, perm func(int) int) int {
+	// Count k-subsets fixed by perm: choose whole cycles of the
+	// permutation. Enumerate cycle lengths then do a subset-sum count.
+	seen := make([]bool, n)
+	var cycles []int
+	for u := 0; u < n; u++ {
+		if seen[u] {
+			continue
+		}
+		length := 0
+		for v := u; !seen[v]; v = perm(v) {
+			seen[v] = true
+			length++
+		}
+		cycles = append(cycles, length)
+	}
+	// dp[j] = number of ways to pick cycles totaling j elements.
+	dp := make([]int, k+1)
+	dp[0] = 1
+	for _, c := range cycles {
+		for j := k; j >= c; j-- {
+			dp[j] += dp[j-c]
+		}
+	}
+	return dp[k]
+}

@@ -1,0 +1,91 @@
+// Package explore implements the exclusive perpetual exploration task
+// (§4.1): every robot must visit every node of the ring infinitely often.
+// It provides a per-robot visit tracker and coverage verdicts; the
+// algorithms that achieve perpetual exploration are Ring Clearing and
+// NminusThree (package search), per Theorems 6 and 7.
+package explore
+
+import (
+	"fmt"
+
+	"ringrobots/internal/corda"
+)
+
+// Tracker counts, for every robot identity and node, how many times the
+// robot has visited the node (starting positions count as one visit).
+// It implements corda.MoveObserver.
+type Tracker struct {
+	n      int
+	k      int
+	visits [][]int // visits[robot][node]
+	moves  int
+}
+
+// NewTracker initializes tracking for the world's robots, crediting their
+// starting positions.
+func NewTracker(w *corda.World) *Tracker {
+	t := &Tracker{n: w.N(), k: w.K()}
+	t.visits = make([][]int, t.k)
+	for id := 0; id < t.k; id++ {
+		t.visits[id] = make([]int, t.n)
+		t.visits[id][w.Position(id)]++
+	}
+	return t
+}
+
+// ObserveMove implements corda.MoveObserver.
+func (t *Tracker) ObserveMove(ev corda.MoveEvent, w *corda.World) {
+	t.visits[ev.Robot][ev.To]++
+	t.moves++
+}
+
+// Visits returns how many times robot id has visited node u.
+func (t *Tracker) Visits(id, u int) int { return t.visits[id][u] }
+
+// Moves returns the number of observed moves.
+func (t *Tracker) Moves() int { return t.moves }
+
+// MinVisits returns the minimum visit count over all (robot, node) pairs —
+// the exploration task's progress measure: it must grow without bound.
+func (t *Tracker) MinVisits() int {
+	m := t.visits[0][0]
+	for _, row := range t.visits {
+		for _, v := range row {
+			if v < m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// FullyExplored reports whether every robot has visited every node at
+// least `times` times.
+func (t *Tracker) FullyExplored(times int) bool {
+	for _, row := range t.visits {
+		for _, v := range row {
+			if v < times {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CoverageByRobot returns, per robot, how many distinct nodes it has
+// visited so far.
+func (t *Tracker) CoverageByRobot() []int {
+	out := make([]int, t.k)
+	for id, row := range t.visits {
+		for _, v := range row {
+			if v > 0 {
+				out[id]++
+			}
+		}
+	}
+	return out
+}
+
+func (t *Tracker) String() string {
+	return fmt.Sprintf("explore{robots=%d, nodes=%d, min-visits=%d, moves=%d}", t.k, t.n, t.MinVisits(), t.moves)
+}

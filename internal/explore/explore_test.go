@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"testing"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/ring"
+)
+
+func TestTrackerInitialCredit(t *testing.T) {
+	w := corda.FromConfig(config.MustNew(6, 0, 3), true)
+	tr := NewTracker(w)
+	if tr.Visits(0, 0) != 1 || tr.Visits(1, 3) != 1 {
+		t.Error("starting positions not credited")
+	}
+	if tr.Visits(0, 3) != 0 || tr.Visits(1, 0) != 0 {
+		t.Error("phantom visits")
+	}
+	if tr.MinVisits() != 0 {
+		t.Errorf("MinVisits = %d, want 0", tr.MinVisits())
+	}
+	cov := tr.CoverageByRobot()
+	if cov[0] != 1 || cov[1] != 1 {
+		t.Errorf("coverage = %v", cov)
+	}
+}
+
+func TestTrackerObservesMoves(t *testing.T) {
+	w := corda.FromConfig(config.MustNew(6, 0, 3), true)
+	tr := NewTracker(w)
+	ev, err := w.MoveRobot(0, ring.CW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ObserveMove(ev, w)
+	if tr.Visits(0, 1) != 1 {
+		t.Error("move not credited")
+	}
+	if tr.Moves() != 1 {
+		t.Errorf("Moves = %d", tr.Moves())
+	}
+}
+
+func TestFullyExplored(t *testing.T) {
+	// Non-exclusive world so the walking robots can pass through each
+	// other's nodes.
+	w := corda.FromConfig(config.MustNew(4, 0, 2), false)
+	tr := NewTracker(w)
+	if tr.FullyExplored(1) {
+		t.Error("fresh tracker fully explored")
+	}
+	// Walk robot 0 around the ring twice; robot 1 once.
+	for lap := 0; lap < 2; lap++ {
+		for i := 0; i < 4; i++ {
+			ev, err := w.MoveRobot(0, ring.CW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.ObserveMove(ev, w)
+		}
+	}
+	if tr.FullyExplored(1) {
+		t.Error("fully explored although robot 1 never moved")
+	}
+	for i := 0; i < 4; i++ {
+		ev, err := w.MoveRobot(1, ring.CCW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.ObserveMove(ev, w)
+	}
+	if !tr.FullyExplored(1) {
+		t.Error("not fully explored after both robots lapped the ring")
+	}
+	if tr.FullyExplored(3) {
+		t.Error("FullyExplored(3) should fail after ~2 laps")
+	}
+	if tr.MinVisits() < 1 {
+		t.Errorf("MinVisits = %d", tr.MinVisits())
+	}
+	if tr.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestExclusivityPreventsCollisionDuringWalk(t *testing.T) {
+	// Sanity: the exploration substrate leaves exclusivity enforcement to
+	// the world; walking into an occupied node errors.
+	w := corda.FromConfig(config.MustNew(4, 0, 1), true)
+	if _, err := w.MoveRobot(0, ring.CW); err == nil {
+		t.Error("collision not detected")
+	}
+}

@@ -1,0 +1,207 @@
+package feasibility
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTransitionGraphCountsMatchFigures(t *testing.T) {
+	for _, f := range PaperFigures() {
+		g, err := NewTransitionGraph(f.N, f.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Classes) != f.Classes {
+			t.Errorf("Figure %d (k=%d,n=%d): %d classes, paper shows %d",
+				f.Figure, f.K, f.N, len(g.Classes), f.Classes)
+		}
+		// Every class must have at least one outgoing arc unless the ring
+		// is full (a robot adjacent to a hole can always move into it).
+		for i, arcs := range g.Arcs {
+			if f.K < f.N && len(arcs) == 0 {
+				t.Errorf("Figure %d: class %d has no successors", f.Figure, i+1)
+			}
+		}
+		if g.String() == "" || g.DOT() == "" {
+			t.Error("empty rendering")
+		}
+	}
+}
+
+func TestTransitionGraphFig4Structure(t *testing.T) {
+	// Figure 4 (k=4, n=7): four classes; the unique rigid one (A1) can
+	// reach the three symmetric ones (A2, A3, A4) and itself.
+	g, err := NewTransitionGraph(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rigidIdx := -1
+	for i, c := range g.Classes {
+		if c.IsRigid() {
+			if rigidIdx >= 0 {
+				t.Fatal("two rigid classes for (4,7)")
+			}
+			rigidIdx = i
+		}
+	}
+	if rigidIdx < 0 {
+		t.Fatal("no rigid class for (4,7); Figure 4 has A1")
+	}
+	// A1's moves reach every class (the paper: moving b, c, or a toward c
+	// leads to A4, A3, A2; moving a toward b stays in A1).
+	if got := len(g.Arcs[rigidIdx]); got != 4 {
+		t.Errorf("rigid class reaches %d classes, want all 4", got)
+	}
+}
+
+func TestTransitionsAreMutual(t *testing.T) {
+	// Single-robot moves are reversible, so reachability between classes
+	// is symmetric.
+	g, err := NewTransitionGraph(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(list []int, x int) bool {
+		for _, v := range list {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	for i, arcs := range g.Arcs {
+		for _, j := range arcs {
+			if !has(g.Arcs[j], i) {
+				t.Errorf("arc C%d->C%d has no reverse", i+1, j+1)
+			}
+		}
+	}
+}
+
+func TestLegalDecisions(t *testing.T) {
+	// Symmetric observation with positive first interval: stay or either.
+	ds := legalDecisions("(2,0,0,2)|(2,0,0,2)")
+	if len(ds) != 2 || ds[0] != DStay || ds[1] != DEither {
+		t.Errorf("symmetric obs decisions = %v", ds)
+	}
+	// Symmetric with zero first interval (both neighbors occupied): stay only.
+	ds = legalDecisions("(0,4)|(0,4)")
+	if len(ds) != 1 || ds[0] != DStay {
+		t.Errorf("blocked symmetric obs decisions = %v", ds)
+	}
+	// Asymmetric, both sides open.
+	ds = legalDecisions("(1,2,3)|(3,2,1)")
+	if len(ds) != 3 {
+		t.Errorf("open asymmetric obs decisions = %v", ds)
+	}
+	// Asymmetric with the Lo side blocked.
+	ds = legalDecisions("(0,1,5)|(1,5,0)")
+	want := []Decision{DStay, DTowardHi}
+	if len(ds) != 2 || ds[0] != want[0] || ds[1] != want[1] {
+		t.Errorf("half-blocked obs decisions = %v", ds)
+	}
+}
+
+func TestSolverRejectsBadParams(t *testing.T) {
+	if _, err := NewSolver(2, 1).Solve(); err == nil {
+		t.Error("accepted n=2")
+	}
+	if _, err := NewSolver(8, 8).Solve(); err == nil {
+		t.Error("accepted k=n")
+	}
+	if _, err := NewSolver(20, 3).Solve(); err == nil {
+		t.Error("accepted n>16")
+	}
+}
+
+func TestImpossibilityTinyCases(t *testing.T) {
+	// k=1 and k=2 on small rings: Theorem 2.
+	for _, tc := range []struct{ n, k int }{{3, 1}, {4, 1}, {5, 1}, {3, 2}, {4, 2}, {5, 2}, {6, 2}} {
+		s := NewSolver(tc.n, tc.k)
+		res, err := s.Solve()
+		if err != nil {
+			t.Fatalf("(k=%d,n=%d): %v", tc.k, tc.n, err)
+		}
+		if !res.Impossible {
+			t.Errorf("(k=%d,n=%d): solver found survivor table %v; paper proves impossibility",
+				tc.k, tc.n, res.SurvivorTable)
+		}
+	}
+}
+
+func TestImpossibilityThreeRobots(t *testing.T) {
+	// Theorem 3: three robots, n > 3.
+	for _, n := range []int{5, 6, 7} {
+		res, err := NewSolver(n, 3).Solve()
+		if err != nil {
+			if errors.Is(err, ErrBudget) {
+				t.Skipf("n=%d k=3: budget exhausted (recorded in EXPERIMENTS.md)", n)
+			}
+			t.Fatal(err)
+		}
+		if !res.Impossible {
+			t.Errorf("(k=3,n=%d): survivor table found; Theorem 3 proves impossibility", n)
+		}
+	}
+}
+
+func TestImpossibilityNminusOneNminusTwo(t *testing.T) {
+	// Lemma 6 (k=n−1) and Theorem 4 (k=n−2) at small n.
+	for _, tc := range []struct{ n, k int }{{5, 4}, {6, 5}, {7, 6}, {5, 3}, {6, 4}, {7, 5}} {
+		res, err := NewSolver(tc.n, tc.k).Solve()
+		if err != nil {
+			if errors.Is(err, ErrBudget) {
+				t.Skipf("(k=%d,n=%d): budget exhausted", tc.k, tc.n)
+			}
+			t.Fatal(err)
+		}
+		if !res.Impossible {
+			t.Errorf("(k=%d,n=%d): survivor table found; paper proves impossibility", tc.k, tc.n)
+		}
+	}
+}
+
+func TestTheorem5Figures(t *testing.T) {
+	// The six exhaustive cases of Theorem 5 (Figures 4–9).
+	if testing.Short() {
+		t.Skip("exhaustive game search skipped in -short mode")
+	}
+	for _, f := range PaperFigures() {
+		res, err := NewSolver(f.N, f.K).Solve()
+		if err != nil {
+			if errors.Is(err, ErrBudget) {
+				t.Logf("Figure %d (k=%d,n=%d): budget exhausted after %d tables (inconclusive)",
+					f.Figure, f.K, f.N, res.TablesExplored)
+				continue
+			}
+			t.Fatal(err)
+		}
+		if !res.Impossible {
+			t.Errorf("Figure %d (k=%d,n=%d): survivor table %v; Theorem 5 proves impossibility",
+				f.Figure, f.K, f.N, res.SurvivorTable)
+		} else {
+			t.Logf("Figure %d (k=%d,n=%d): impossibility confirmed over %d table branches",
+				f.Figure, f.K, f.N, res.TablesExplored)
+		}
+	}
+}
+
+func TestDecisionStrings(t *testing.T) {
+	for d, want := range map[Decision]string{
+		DStay: "stay", DTowardLo: "toward-lo", DTowardHi: "toward-hi", DEither: "either",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q", int(d), d.String())
+		}
+	}
+}
+
+func TestParseViewKeyRoundTrip(t *testing.T) {
+	v := parseViewKey("(0,1,12,3)")
+	if len(v) != 4 || v[0] != 0 || v[1] != 1 || v[2] != 12 || v[3] != 3 {
+		t.Errorf("parsed %v", v)
+	}
+	if len(parseViewKey("()")) != 0 {
+		t.Error("empty view key should parse to empty view")
+	}
+}

@@ -1,0 +1,123 @@
+package feasibility
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/enumerate"
+	"ringrobots/internal/ring"
+)
+
+// TransitionGraph regenerates the configuration diagrams of the paper's
+// Figures 4–9: the distinct exclusive configurations of k robots on an
+// n-node ring (up to rotation and reflection) and, for each, which
+// configurations a single robot move can reach.
+type TransitionGraph struct {
+	N, K int
+	// Classes are the distinct configurations, ordered by supermin view.
+	Classes []config.Config
+	// Arcs[i] lists the indices of classes reachable from Classes[i] by
+	// moving one robot to an adjacent empty node (deduplicated, sorted).
+	Arcs [][]int
+}
+
+// NewTransitionGraph enumerates the diagram for (n, k).
+func NewTransitionGraph(n, k int) (*TransitionGraph, error) {
+	classes, err := enumerate.Classes(n, k)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, len(classes))
+	for i, c := range classes {
+		index[c.Canonical()] = i
+	}
+	g := &TransitionGraph{N: n, K: k, Classes: classes, Arcs: make([][]int, len(classes))}
+	for i, c := range classes {
+		seen := make(map[int]bool)
+		for _, u := range c.Nodes() {
+			for _, d := range []ring.Direction{ring.CW, ring.CCW} {
+				to := c.Ring().Step(u, d)
+				if c.Occupied(to) {
+					continue
+				}
+				next, err := c.Move(u, to)
+				if err != nil {
+					return nil, err
+				}
+				j, ok := index[next.Canonical()]
+				if !ok {
+					return nil, fmt.Errorf("feasibility: successor class %s missing", next.Canonical())
+				}
+				seen[j] = true
+			}
+		}
+		arcs := make([]int, 0, len(seen))
+		for j := range seen {
+			arcs = append(arcs, j)
+		}
+		sort.Ints(arcs)
+		g.Arcs[i] = arcs
+	}
+	return g, nil
+}
+
+// String renders the diagram as text: one line per class with its
+// supermin view, symmetry classification, and successors — the textual
+// equivalent of Figures 4–9.
+func (g *TransitionGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "configurations of k=%d robots on an n=%d ring (%d classes)\n", g.K, g.N, len(g.Classes))
+	for i, c := range g.Classes {
+		kind := "rigid"
+		switch {
+		case c.IsPeriodic():
+			kind = "periodic"
+		case c.IsSymmetric():
+			kind = "symmetric"
+		}
+		fmt.Fprintf(&b, "  C%-2d %-22s %-9s -> ", i+1, c.SuperminView(), kind)
+		for j, a := range g.Arcs[i] {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "C%d", a+1)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DOT renders the diagram in Graphviz format.
+func (g *TransitionGraph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph \"k%d_n%d\" {\n", g.K, g.N)
+	for i, c := range g.Classes {
+		shape := "ellipse"
+		if c.IsSymmetric() || c.IsPeriodic() {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  C%d [label=\"%s\", shape=%s];\n", i+1, c.SuperminView(), shape)
+	}
+	for i, arcs := range g.Arcs {
+		for _, j := range arcs {
+			fmt.Fprintf(&b, "  C%d -> C%d;\n", i+1, j+1)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PaperFigures lists the six cases of Theorem 5 with the configuration
+// counts shown in Figures 4–9.
+func PaperFigures() []struct{ Figure, K, N, Classes int } {
+	return []struct{ Figure, K, N, Classes int }{
+		{4, 4, 7, 4},
+		{5, 4, 8, 8},
+		{6, 5, 8, 5},
+		{7, 6, 9, 7},
+		{8, 4, 9, 10},
+		{9, 5, 9, 10},
+	}
+}

@@ -1,0 +1,112 @@
+// Package gather implements the gathering task (§5): all k robots must
+// eventually occupy a single node and stay there. In the min-CORDA model
+// this requires the local ("weak") multiplicity detection capability —
+// without any multiplicity detection gathering on rings is impossible
+// (Klasing, Markou, Pelc 2008), and local detection is the weakest
+// variant.
+//
+// The algorithm (Fig. 14) is the paper's third use of the unified
+// approach: phase 1 runs Align to reach C*; phase 2 repeatedly applies
+// rule Contraction, collapsing the C*-type configuration one occupied
+// node at a time onto a growing multiplicity; when only two nodes remain
+// occupied, the unique robot that is not part of the multiplicity walks
+// to it (Theorem 8: gathering of k > 2 robots on n > k+2 nodes from any
+// rigid exclusive configuration).
+package gather
+
+import (
+	"fmt"
+
+	"ringrobots/internal/align"
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+)
+
+// Gathering is the per-robot algorithm of Fig. 14. It implements
+// corda.Algorithm and requires a world with multiplicity detection
+// enabled and exclusivity disabled.
+type Gathering struct{}
+
+// Name implements corda.Algorithm.
+func (Gathering) Name() string { return "gathering" }
+
+// Validate checks Theorem 8's parameter range: k > 2 robots on n > k+2
+// nodes (with n = k+1 or k+2 every configuration is symmetric or
+// periodic, so no rigid starting configuration exists).
+func Validate(n, k int) error {
+	if k <= 2 {
+		return fmt.Errorf("gather: need k > 2 robots, got k=%d (k=2 is unsolvable on rings, k=1 trivial)", k)
+	}
+	if n <= k+2 {
+		return fmt.Errorf("gather: need n > k+2, got n=%d, k=%d (no rigid configuration exists)", n, k)
+	}
+	return nil
+}
+
+// Compute implements corda.Algorithm.
+func (Gathering) Compute(s corda.Snapshot) corda.Decision {
+	j := s.OccupiedNodes()
+	switch {
+	case j == 1:
+		// Gathered; robots on the multiplicity stay forever.
+		return corda.Stay
+	case j == 2:
+		// Final phase: the robot that is alone moves towards the other
+		// occupied node; robots composing the multiplicity do not move.
+		if s.Multiplicity {
+			return corda.Stay
+		}
+		if s.Symmetric() {
+			// Two occupied nodes at antipodal distance: unreachable from
+			// C*-type contraction; defensively let the adversary choose.
+			return corda.Either
+		}
+		return corda.TowardLo
+	default:
+		c, err := config.FromIntervals(0, s.Lo)
+		if err != nil {
+			return corda.Stay
+		}
+		if isType, _ := c.IsCStarType(); isType {
+			// Rule Contraction: robots on the first node of the sequence
+			// (the supermin anchor) move towards the second. The C*-type
+			// configuration is rigid, so exactly the robots at the anchor
+			// node see their Lo view equal to the supermin.
+			if s.Lo.Equal(c.SuperminView()) {
+				return corda.TowardLo
+			}
+			return corda.Stay
+		}
+		// Phase 1: not yet C*-type — run Align.
+		return align.DecideFromSnapshot(s)
+	}
+}
+
+// Run drives a world to the gathered state under the given runner budget,
+// with atomic round-robin scheduling. The world must be non-exclusive
+// with multiplicity detection enabled (as built by NewWorld).
+func Run(w *corda.World, maxSteps int) (moves int, err error) {
+	r := corda.NewRunner(w, Gathering{})
+	reason, err := r.RunUntil((*corda.World).Gathered, maxSteps)
+	if err != nil {
+		return r.Moves(), err
+	}
+	if reason != corda.StopCondition {
+		return r.Moves(), fmt.Errorf("gather: stopped with reason %v before gathering (world %v)", reason, w)
+	}
+	return r.Moves(), nil
+}
+
+// NewWorld builds a gathering world from an exclusive rigid starting
+// configuration: multiplicities allowed, local multiplicity detection on.
+func NewWorld(c config.Config) (*corda.World, error) {
+	if err := Validate(c.N(), c.K()); err != nil {
+		return nil, err
+	}
+	if !c.IsRigid() {
+		return nil, fmt.Errorf("gather: starting configuration %v is not rigid", c)
+	}
+	w := corda.FromConfig(c, false)
+	w.EnableMultiplicityDetection()
+	return w, nil
+}

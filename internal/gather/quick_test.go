@@ -1,0 +1,110 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringrobots/internal/corda"
+	"ringrobots/internal/enumerate"
+)
+
+// Property-based checks of the gathering phase structure.
+
+func TestQuickGatheringInvariants(t *testing.T) {
+	// From any rigid start: the run gathers; the robot count never
+	// changes; once the configuration becomes C*-type it stays C*-type
+	// (or smaller) until only two, then one, node remains occupied.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 7 + rng.Intn(14)
+		k := 3 + rng.Intn(n-5)
+		if k >= n-2 {
+			k = n - 3
+		}
+		start, err := enumerate.RandomRigid(rng, n, k, 50000)
+		if err != nil {
+			return true // no rigid configuration for this (n,k)
+		}
+		w, err := NewWorld(start)
+		if err != nil {
+			return false
+		}
+		r := corda.NewRunner(w, Gathering{})
+		everCStarType := false
+		for step := 0; step < 400*n && !w.Gathered(); step++ {
+			if _, err := r.Step(); err != nil {
+				return false
+			}
+			cfg := w.Config()
+			if isType, _ := cfg.IsCStarType(); isType {
+				everCStarType = true
+			} else if everCStarType && cfg.K() > 2 {
+				// Once contraction starts, the configuration must remain
+				// C*-type until the two-node endgame.
+				return false
+			}
+		}
+		return w.Gathered() && w.K() == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGatheredNodeHostsAllRobots(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 7 + rng.Intn(10)
+		k := 3 + rng.Intn(3)
+		if k >= n-2 {
+			return true
+		}
+		start, err := enumerate.RandomRigid(rng, n, k, 50000)
+		if err != nil {
+			return true
+		}
+		w, err := NewWorld(start)
+		if err != nil {
+			return false
+		}
+		if _, err := Run(w, 500*n*n); err != nil {
+			return false
+		}
+		return w.CountAt(w.Position(0)) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNoMoveAfterGathering(t *testing.T) {
+	// Stability: after gathering, arbitrary further activations (any
+	// scheduler) never move anyone.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(10)
+		node := rng.Intn(n)
+		k := 3 + rng.Intn(4)
+		positions := make([]int, k)
+		for i := range positions {
+			positions[i] = node
+		}
+		w, err := corda.NewWorld(n, positions, false)
+		if err != nil {
+			return false
+		}
+		w.EnableMultiplicityDetection()
+		r := corda.NewRunner(w, Gathering{})
+		for i := 0; i < 3*k; i++ {
+			moved, err := r.Step()
+			if err != nil || moved {
+				return false
+			}
+		}
+		return w.Gathered()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnTinyRing(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestNorm(t *testing.T) {
+	r := New(5)
+	cases := []struct{ in, want int }{
+		{0, 0}, {4, 4}, {5, 0}, {6, 1}, {-1, 4}, {-5, 0}, {-6, 4}, {13, 3},
+	}
+	for _, c := range cases {
+		if got := r.Norm(c.in); got != c.want {
+			t.Errorf("Norm(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStepAndAdd(t *testing.T) {
+	r := New(6)
+	if got := r.Step(5, CW); got != 0 {
+		t.Errorf("Step(5, CW) = %d, want 0", got)
+	}
+	if got := r.Step(0, CCW); got != 5 {
+		t.Errorf("Step(0, CCW) = %d, want 5", got)
+	}
+	if got := r.Add(2, 10, CW); got != 0 {
+		t.Errorf("Add(2, 10, CW) = %d, want 0", got)
+	}
+	if got := r.Add(2, 3, CCW); got != 5 {
+		t.Errorf("Add(2, 3, CCW) = %d, want 5", got)
+	}
+}
+
+func TestDirectionOpposite(t *testing.T) {
+	if CW.Opposite() != CCW || CCW.Opposite() != CW {
+		t.Fatal("Opposite is not an involution on {CW, CCW}")
+	}
+	if CW.String() != "cw" || CCW.String() != "ccw" {
+		t.Errorf("unexpected direction strings %q %q", CW.String(), CCW.String())
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		r := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if r.Dist(u, v) != r.Dist(v, u) {
+					t.Fatalf("n=%d: Dist(%d,%d) != Dist(%d,%d)", n, u, v, v, u)
+				}
+				if d := r.Dist(u, v); d > n/2 {
+					t.Fatalf("n=%d: Dist(%d,%d)=%d exceeds n/2", n, u, v, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDistCWPlusReverseIsN(t *testing.T) {
+	r := New(9)
+	for u := 0; u < 9; u++ {
+		for v := 0; v < 9; v++ {
+			if u == v {
+				continue
+			}
+			if r.DistCW(u, v)+r.DistCW(v, u) != 9 {
+				t.Fatalf("DistCW(%d,%d)+DistCW(%d,%d) != n", u, v, v, u)
+			}
+		}
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	r := New(4)
+	if !r.Adjacent(3, 0) || !r.Adjacent(0, 3) {
+		t.Error("wraparound neighbors not adjacent")
+	}
+	if r.Adjacent(0, 2) {
+		t.Error("diametral nodes reported adjacent on a 4-ring")
+	}
+	if r.Adjacent(1, 1) {
+		t.Error("node adjacent to itself")
+	}
+}
+
+func TestDiametralEven(t *testing.T) {
+	r := New(8)
+	if !r.Diametral(0, 4) {
+		t.Error("0 and 4 should be diametral on an 8-ring")
+	}
+	if r.Diametral(0, 3) {
+		t.Error("0 and 3 are not diametral on an 8-ring")
+	}
+	if r.Diametral(2, 2) {
+		t.Error("a node is not diametral with itself")
+	}
+}
+
+func TestDiametralOdd(t *testing.T) {
+	r := New(7)
+	// On a 7-ring, u and v are diametral iff distances are 3 and 4.
+	for v := 1; v < 7; v++ {
+		want := v == 3 || v == 4
+		if got := r.Diametral(0, v); got != want {
+			t.Errorf("Diametral(0,%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	r := New(5)
+	if e := r.EdgeBetween(0, 1); e != Edge(0) {
+		t.Errorf("EdgeBetween(0,1) = %d, want 0", e)
+	}
+	if e := r.EdgeBetween(1, 0); e != Edge(0) {
+		t.Errorf("EdgeBetween(1,0) = %d, want 0", e)
+	}
+	if e := r.EdgeBetween(4, 0); e != Edge(4) {
+		t.Errorf("EdgeBetween(4,0) = %d, want 4", e)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EdgeBetween on non-adjacent nodes did not panic")
+		}
+	}()
+	r.EdgeBetween(0, 2)
+}
+
+func TestEdgeEndsAndIncidence(t *testing.T) {
+	r := New(6)
+	for e := 0; e < r.Edges(); e++ {
+		u, v := r.EdgeEnds(Edge(e))
+		if !r.Adjacent(u, v) {
+			t.Fatalf("edge %d ends %d,%d not adjacent", e, u, v)
+		}
+		if r.EdgeBetween(u, v) != Edge(e) {
+			t.Fatalf("EdgeBetween(EdgeEnds(%d)) != %d", e, e)
+		}
+	}
+	for u := 0; u < 6; u++ {
+		a, b := r.IncidentEdges(u)
+		ua, va := r.EdgeEnds(a)
+		ub, vb := r.EdgeEnds(b)
+		if (ua != u && va != u) || (ub != u && vb != u) {
+			t.Fatalf("IncidentEdges(%d) returned non-incident edges", u)
+		}
+		if a == b {
+			t.Fatalf("IncidentEdges(%d) returned the same edge twice", u)
+		}
+	}
+}
+
+func TestStepInverse(t *testing.T) {
+	// Property: stepping CW then CCW returns to the start, for any ring.
+	f := func(nRaw, uRaw uint8) bool {
+		n := int(nRaw%30) + 3
+		r := New(n)
+		u := r.Norm(int(uRaw))
+		return r.Step(r.Step(u, CW), CCW) == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	f := func(nRaw, aRaw, bRaw, cRaw uint8) bool {
+		n := int(nRaw%30) + 3
+		r := New(n)
+		a, b, c := r.Norm(int(aRaw)), r.Norm(int(bRaw)), r.Norm(int(cRaw))
+		return r.Dist(a, c) <= r.Dist(a, b)+r.Dist(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

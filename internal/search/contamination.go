@@ -1,0 +1,179 @@
+// Package search implements the exclusive perpetual graph searching task
+// (§4): the mixed graph-searching substrate with instantaneous
+// recontamination, the paper's Ring Clearing algorithm (§4.3) for
+// 5 ≤ k < n−3, the NminusThree algorithm (§4.4) for k = n−3, and
+// verifiers certifying that an execution perpetually clears the ring.
+package search
+
+import (
+	"fmt"
+	"strings"
+
+	"ringrobots/internal/corda"
+	"ringrobots/internal/ring"
+)
+
+// Contamination tracks the clear/contaminated state of every ring edge
+// under the mixed graph-searching rules (§4.1):
+//
+//   - an edge becomes clear when a robot traverses it, or while both its
+//     endpoints are occupied;
+//   - a clear edge is instantaneously recontaminated if a robot-free path
+//     connects one of its endpoints to an endpoint of a contaminated edge.
+//
+// All edges start contaminated. Contamination implements
+// corda.MoveObserver so it can be attached to any runner or engine.
+type Contamination struct {
+	r     ring.Ring
+	clear []bool
+
+	// clearedTimes[e] counts contaminated→clear transitions of edge e.
+	clearedTimes []int
+	// allClearEvents counts transitions into the all-edges-clear state —
+	// the "ring cleared" events whose recurrence defines perpetual
+	// searching.
+	allClearEvents int
+	wasAllClear    bool
+}
+
+// NewContamination returns a tracker for the world's ring with every edge
+// contaminated, then immediately applies the guarded-edge rule to the
+// world's initial positions (edges between adjacent robots start clear).
+func NewContamination(w *corda.World) *Contamination {
+	t := &Contamination{
+		r:            w.Ring(),
+		clear:        make([]bool, w.Ring().Edges()),
+		clearedTimes: make([]int, w.Ring().Edges()),
+	}
+	t.refresh(w, -1)
+	return t
+}
+
+// ObserveMove implements corda.MoveObserver.
+func (t *Contamination) ObserveMove(ev corda.MoveEvent, w *corda.World) {
+	t.refresh(w, int(t.r.EdgeBetween(ev.From, ev.To)))
+}
+
+// Reset recontaminates every edge (the adversarial "worst moment" probe
+// used to certify perpetual clearing), then re-applies the guarded-edge
+// rule for the world's current positions.
+func (t *Contamination) Reset(w *corda.World) {
+	for e := range t.clear {
+		t.clear[e] = false
+	}
+	t.wasAllClear = false
+	t.refresh(w, -1)
+}
+
+// refresh recomputes edge states after a move along traversed (-1 when
+// only re-evaluating occupancy, e.g. at initialization).
+func (t *Contamination) refresh(w *corda.World, traversed int) {
+	was := make([]bool, len(t.clear))
+	copy(was, t.clear)
+
+	if traversed >= 0 {
+		t.clear[traversed] = true
+	}
+	// Guarded edges are clear while both endpoints are occupied.
+	for e := 0; e < t.r.Edges(); e++ {
+		u, v := t.r.EdgeEnds(ring.Edge(e))
+		if w.CountAt(u) > 0 && w.CountAt(v) > 0 {
+			t.clear[e] = true
+		}
+	}
+	// Instantaneous recontamination closure: contamination spreads from
+	// contaminated edges through unoccupied endpoints.
+	for changed := true; changed; {
+		changed = false
+		for e := 0; e < t.r.Edges(); e++ {
+			if t.clear[e] {
+				continue
+			}
+			u, v := t.r.EdgeEnds(ring.Edge(e))
+			for _, z := range []int{u, v} {
+				if w.CountAt(z) > 0 {
+					continue
+				}
+				a, b := t.r.IncidentEdges(z)
+				for _, f := range []ring.Edge{a, b} {
+					if t.clear[f] {
+						t.clear[f] = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for e := range t.clear {
+		if t.clear[e] && !was[e] {
+			t.clearedTimes[e]++
+		}
+	}
+	now := t.AllClear()
+	if now && !t.wasAllClear {
+		t.allClearEvents++
+	}
+	t.wasAllClear = now
+}
+
+// AllClear reports whether every edge is currently clear — the ring is
+// searched.
+func (t *Contamination) AllClear() bool {
+	for _, c := range t.clear {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeClear reports whether edge e is clear.
+func (t *Contamination) EdgeClear(e ring.Edge) bool { return t.clear[e] }
+
+// ClearCount returns the number of currently clear edges.
+func (t *Contamination) ClearCount() int {
+	n := 0
+	for _, c := range t.clear {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// AllClearEvents returns how many times the system has entered the
+// all-edges-clear state.
+func (t *Contamination) AllClearEvents() int { return t.allClearEvents }
+
+// ClearedTimes returns how many times edge e transitioned to clear.
+func (t *Contamination) ClearedTimes(e ring.Edge) int { return t.clearedTimes[e] }
+
+// MinClearedTimes returns the minimum clear-transition count over all
+// edges — positive once every edge has been cleared at least once.
+func (t *Contamination) MinClearedTimes() int {
+	m := t.clearedTimes[0]
+	for _, c := range t.clearedTimes[1:] {
+		if c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// StateKey encodes the edge states compactly for cycle detection.
+func (t *Contamination) StateKey() string {
+	var b strings.Builder
+	for _, c := range t.clear {
+		if c {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func (t *Contamination) String() string {
+	return fmt.Sprintf("contamination{%s, clears=%d}", t.StateKey(), t.allClearEvents)
+}

@@ -1,0 +1,206 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/ring"
+)
+
+// NminusThree is the dedicated algorithm of §4.4 clearing an n-node ring
+// with k = n−3 robots (n ≥ 10), starting from any rigid exclusive
+// configuration. With exactly three empty nodes, the configuration is
+// described by the three block sizes (A,B,C), A < B < C (strict, by
+// rigidity). Phase 1 (rules R1.1–R1.3) reaches one of the final
+// configurations (0,2,k−2), (0,3,k−3), (1,2,k−3); phase 2 (rules
+// R2.1–R2.3) cycles through them forever, perpetually clearing the ring
+// (Theorem 7).
+type NminusThree struct{}
+
+// Name implements corda.Algorithm.
+func (NminusThree) Name() string { return "n-minus-three" }
+
+// Validate checks Theorem 7's parameter range.
+func (NminusThree) Validate(n, k int) error {
+	if k != n-3 {
+		return fmt.Errorf("search: NminusThree requires k = n-3, got k=%d, n=%d", k, n)
+	}
+	if n < 10 {
+		return fmt.Errorf("search: NminusThree requires n >= 10, got n=%d (impossible for n <= 9, Theorem 5)", n)
+	}
+	return nil
+}
+
+// N3Rule names the rule applied by one NminusThree step.
+type N3Rule int
+
+const (
+	// N3None: no applicable rule (should not happen on rigid inputs).
+	N3None N3Rule = iota
+	// N3R11 is R1.1: A > 0, move A's robot closest to C towards C.
+	N3R11
+	// N3R12 is R1.2: A = 0, B = 1, move C's robot closest to B towards B.
+	N3R12
+	// N3R13 is R1.3: A = 0, B > 3, move B's robot closest to C towards C.
+	N3R13
+	// N3R21 is R2.1: (0,2,k−2), move C's robot closest to B towards B.
+	N3R21
+	// N3R22 is R2.2: (0,3,k−3), move B's robot closest to A towards A.
+	N3R22
+	// N3R23 is R2.3: (1,2,k−3), move A's robot towards C.
+	N3R23
+)
+
+func (r N3Rule) String() string {
+	switch r {
+	case N3None:
+		return "none"
+	case N3R11:
+		return "R1.1"
+	case N3R12:
+		return "R1.2"
+	case N3R13:
+		return "R1.3"
+	case N3R21:
+		return "R2.1"
+	case N3R22:
+		return "R2.2"
+	case N3R23:
+		return "R2.3"
+	}
+	return fmt.Sprintf("N3Rule(%d)", int(r))
+}
+
+// n3Arc is one of the three occupied arcs between consecutive empty nodes.
+type n3Arc struct {
+	size       int // number of robots in the arc (may be 0)
+	startEmpty int // the empty node clockwise-before the arc
+	endEmpty   int // the empty node clockwise-after the arc
+}
+
+// n3Blocks decomposes a k = n−3 configuration into its three arcs ordered
+// by size. It errors when block sizes are not pairwise distinct (then the
+// configuration is not rigid).
+func n3Blocks(c config.Config) (blocks [3]n3Arc, err error) {
+	n := c.N()
+	if c.K() != n-3 {
+		return blocks, fmt.Errorf("search: configuration has %d robots on %d nodes, need k = n-3", c.K(), n)
+	}
+	var empties []int
+	for u := 0; u < n; u++ {
+		if !c.Occupied(u) {
+			empties = append(empties, u)
+		}
+	}
+	if len(empties) != 3 {
+		return blocks, fmt.Errorf("search: expected 3 empty nodes, found %d", len(empties))
+	}
+	r := c.Ring()
+	arcs := make([]n3Arc, 3)
+	for i := 0; i < 3; i++ {
+		from := empties[i]
+		to := empties[(i+1)%3]
+		arcs[i] = n3Arc{
+			size:       r.DistCW(from, to) - 1,
+			startEmpty: from,
+			endEmpty:   to,
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i].size < arcs[j].size })
+	if arcs[0].size == arcs[1].size || arcs[1].size == arcs[2].size {
+		return blocks, fmt.Errorf("search: block sizes %d,%d,%d not pairwise distinct (configuration not rigid)",
+			arcs[0].size, arcs[1].size, arcs[2].size)
+	}
+	copy(blocks[:], arcs)
+	return blocks, nil
+}
+
+// N3Plan is the single move NminusThree performs in a configuration.
+type N3Plan struct {
+	Rule   N3Rule
+	Mover  int // node of the moving robot
+	Target int // empty node it moves onto
+}
+
+// n3EndToward returns the end-robot of arc x on the side of the given
+// boundary empty node.
+func n3EndToward(c config.Config, x n3Arc, boundary int) int {
+	r := c.Ring()
+	if boundary == x.startEmpty {
+		return r.Step(boundary, ring.CW)
+	}
+	return r.Step(boundary, ring.CCW)
+}
+
+// n3Boundary returns the empty node directly between arcs x and y
+// (the boundary both share), preferring the side where they are adjacent
+// through a single empty node.
+func n3Boundary(x, y n3Arc) (int, bool) {
+	if x.endEmpty == y.startEmpty {
+		return x.endEmpty, true
+	}
+	if y.endEmpty == x.startEmpty {
+		return y.endEmpty, true
+	}
+	return 0, false
+}
+
+// ComputeN3Plan determines the move of Fig. 13 on configuration c.
+func ComputeN3Plan(c config.Config) (N3Plan, error) {
+	blocks, err := n3Blocks(c)
+	if err != nil {
+		return N3Plan{}, err
+	}
+	a, b, cBig := blocks[0], blocks[1], blocks[2]
+	k := c.K()
+
+	moveEndToward := func(rule N3Rule, from, to n3Arc) (N3Plan, error) {
+		boundary, ok := n3Boundary(from, to)
+		if !ok {
+			return N3Plan{}, fmt.Errorf("search: arcs not directly adjacent for rule %v in %v", rule, c)
+		}
+		return N3Plan{Rule: rule, Mover: n3EndToward(c, from, boundary), Target: boundary}, nil
+	}
+
+	switch {
+	case a.size == 0 && b.size == 2 && cBig.size == k-2:
+		return moveEndToward(N3R21, cBig, b)
+	case a.size == 0 && b.size == 3 && cBig.size == k-3:
+		// R2.2: B's robot closest to A moves towards A. A is the empty
+		// arc: its "single empty boundary" with B is the shared empty.
+		return moveEndToward(N3R22, b, a)
+	case a.size == 1 && b.size == 2 && cBig.size == k-3:
+		// R2.3: the singleton A moves towards C.
+		return moveEndToward(N3R23, a, cBig)
+	case a.size > 0:
+		return moveEndToward(N3R11, a, cBig)
+	case b.size == 1:
+		return moveEndToward(N3R12, cBig, b)
+	case b.size > 3:
+		return moveEndToward(N3R13, b, cBig)
+	}
+	return N3Plan{}, fmt.Errorf("search: no NminusThree rule applies to %v", c)
+}
+
+// Compute implements corda.Algorithm: the robot reconstructs the
+// configuration from its view, computes the global plan, and moves only
+// if it is the planned mover.
+func (NminusThree) Compute(s corda.Snapshot) corda.Decision {
+	c, err := config.FromIntervals(0, s.Lo)
+	if err != nil {
+		return corda.Stay
+	}
+	p, err := ComputeN3Plan(c)
+	if err != nil || p.Mover != 0 {
+		return corda.Stay
+	}
+	switch p.Target {
+	case 1:
+		return corda.TowardLo
+	case c.N() - 1:
+		return corda.TowardHi
+	}
+	return corda.Stay
+}

@@ -1,0 +1,501 @@
+package search
+
+import (
+	"testing"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/ring"
+)
+
+func TestContaminationInitialState(t *testing.T) {
+	// Isolated robots: every edge contaminated.
+	w := corda.FromConfig(config.MustNew(8, 0, 3, 6), true)
+	c := NewContamination(w)
+	if c.ClearCount() != 0 {
+		t.Fatalf("isolated robots cleared %d edges at init", c.ClearCount())
+	}
+	// Adjacent robots guard their shared edge from the start.
+	w2 := corda.FromConfig(config.MustNew(8, 0, 1, 2), true)
+	c2 := NewContamination(w2)
+	if c2.ClearCount() != 2 {
+		t.Fatalf("block of 3 should guard 2 edges, got %d", c2.ClearCount())
+	}
+	if !c2.EdgeClear(ring.Edge(0)) || !c2.EdgeClear(ring.Edge(1)) {
+		t.Fatal("wrong guarded edges")
+	}
+}
+
+func TestContaminationTraversalClears(t *testing.T) {
+	w := corda.FromConfig(config.MustNew(8, 0, 4), true)
+	c := NewContamination(w)
+	ev, err := w.MoveRobot(0, ring.CCW) // 0 → 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveMove(ev, w)
+	// Edge 7 (between 7 and 0) was traversed; but node 0 is now empty and
+	// the contaminated edge 0-1 touches it: instant recontamination.
+	if c.EdgeClear(ring.Edge(7)) {
+		t.Fatal("edge 7 should be recontaminated through empty node 0")
+	}
+}
+
+func TestContaminationSweepByPairOfRobots(t *testing.T) {
+	// The classic 2-robot strategy of §4.1: one robot anchors at v, the
+	// other walks around the ring; edges behind the walker stay clear
+	// because the anchor blocks recontamination.
+	n := 8
+	w := corda.FromConfig(config.MustNew(n, 0, 1), true)
+	c := NewContamination(w)
+	// Robot 1 walks from node 1 all the way around to node 7.
+	for i := 0; i < n-2; i++ {
+		ev, err := w.MoveRobot(1, ring.CW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ObserveMove(ev, w)
+		want := i + 2
+		if i == n-3 {
+			// Final step: the traversed edge clears and the wraparound
+			// edge becomes guarded simultaneously.
+			want = n
+		}
+		if got := c.ClearCount(); got != want {
+			t.Fatalf("after %d walk steps: %d clear edges, want %d", i+1, got, want)
+		}
+	}
+	if !c.AllClear() {
+		t.Fatal("ring not cleared after the full sweep")
+	}
+	if c.AllClearEvents() != 1 {
+		t.Fatalf("all-clear events = %d, want 1", c.AllClearEvents())
+	}
+}
+
+func TestContaminationRecontaminationClosure(t *testing.T) {
+	// Clear some edges, then expose a cleared edge to the contaminated
+	// region: instantaneous recontamination must reclaim it, even though
+	// the robot just traversed it.
+	n := 8
+	w := corda.FromConfig(config.MustNew(n, 0, 1), true)
+	c := NewContamination(w)
+	for i := 0; i < 3; i++ { // robot 1 walks 1→2→3→4
+		ev, _ := w.MoveRobot(1, ring.CW)
+		c.ObserveMove(ev, w)
+	}
+	if c.ClearCount() != 4 { // edges 0 (guarded), 1..3 (traversed)
+		t.Fatalf("setup: %d clear edges, want 4", c.ClearCount())
+	}
+	// The anchor advances 0→1: it traverses edge 0, but node 0 becomes
+	// empty and touches the contaminated edge 7-0, so edge 0 is instantly
+	// recontaminated despite the traversal.
+	ev, _ := w.MoveRobot(0, ring.CW)
+	c.ObserveMove(ev, w)
+	if c.EdgeClear(ring.Edge(0)) {
+		t.Fatal("edge 0 should be recontaminated through empty node 0")
+	}
+	// The segment guarded between the robots at 1 and 4 stays clear.
+	if !c.EdgeClear(ring.Edge(1)) || !c.EdgeClear(ring.Edge(2)) || !c.EdgeClear(ring.Edge(3)) {
+		t.Fatal("protected segment lost clearance")
+	}
+}
+
+func TestContaminationGuardedEdgeImmune(t *testing.T) {
+	// An edge with both endpoints occupied stays clear even when all
+	// surrounding edges are contaminated.
+	w := corda.FromConfig(config.MustNew(9, 3, 4), true)
+	c := NewContamination(w)
+	if !c.EdgeClear(ring.Edge(3)) {
+		t.Fatal("guarded edge not clear")
+	}
+	if c.ClearCount() != 1 {
+		t.Fatalf("clear edges = %d, want 1", c.ClearCount())
+	}
+	if c.MinClearedTimes() != 0 {
+		t.Fatal("min cleared times should be 0 (most edges never cleared)")
+	}
+	if c.ClearedTimes(ring.Edge(3)) != 1 {
+		t.Fatal("guarded edge should count one clear transition")
+	}
+}
+
+func TestClassifyAOnPaperFamilies(t *testing.T) {
+	// n=12, k=6 instances of each family, built per Fig. 12.
+	cases := []struct {
+		name  string
+		nodes []int
+		want  AClass
+	}{
+		{"A-a", []int{0, 1, 2, 3, 5, 6}, Aa},                                  // block 4, gap, pair
+		{"A-b", []int{0, 1, 2, 3, 5, 7}, Ab},                                  // block 4, gap, single, single far
+		{"A-c", []int{0, 1, 2, 3, 5, 9}, Ac},                                  // single 2 gaps from far side
+		{"A-d", []int{0, 1, 2, 4, 5, 9}, Ad},                                  // block 3, pair, single at 2
+		{"A-e", []int{0, 1, 2, 4, 5, 10}, Ae},                                 // single at 1
+		{"A-f/C*", []int{0, 1, 2, 3, 4, 6}, Af},                               // C*(12,6)
+		{"A-f general", []int{0, 1, 2, 3, 4, 7}, Af},                          // k−1 block + single, gaps 2,4
+		{"not in A: symmetric block+single", []int{0, 1, 2, 3, 4, 8}, NotInA}, // gaps 3,3
+		{"not in A: three singles", []int{0, 2, 4, 6, 8, 10}, NotInA},
+		{"not in A: A-b with y=1", []int{0, 1, 2, 3, 5, 10}, NotInA},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := config.MustNew(12, tc.nodes...)
+			if got := ClassifyA(c); got != tc.want {
+				t.Errorf("ClassifyA(%v) = %v, want %v", tc.nodes, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestClassifyAMirrorInvariance(t *testing.T) {
+	// Classification must not depend on orientation or rotation.
+	base := config.MustNew(12, 0, 1, 2, 3, 5, 6) // A-a
+	n := 12
+	for shift := 0; shift < n; shift++ {
+		rot := make([]int, 0, 6)
+		ref := make([]int, 0, 6)
+		for _, u := range base.Nodes() {
+			rot = append(rot, (u+shift)%n)
+			ref = append(ref, ((n-u)+shift)%n)
+		}
+		if got := ClassifyA(config.MustNew(n, rot...)); got != Aa {
+			t.Fatalf("rotation by %d: %v", shift, got)
+		}
+		if got := ClassifyA(config.MustNew(n, ref...)); got != Aa {
+			t.Fatalf("reflection+%d: %v", shift, got)
+		}
+	}
+}
+
+func TestRingClearingValidate(t *testing.T) {
+	var rc RingClearing
+	if err := rc.Validate(9, 5); err == nil {
+		t.Error("accepted n=9")
+	}
+	if err := rc.Validate(12, 4); err == nil {
+		t.Error("accepted k=4")
+	}
+	if err := rc.Validate(12, 9); err == nil {
+		t.Error("accepted k=n-3")
+	}
+	if err := rc.Validate(10, 5); err == nil {
+		t.Error("accepted the open case (5,10)")
+	}
+	if err := rc.Validate(11, 5); err != nil {
+		t.Errorf("rejected valid (5,11): %v", err)
+	}
+	if err := rc.Validate(12, 6); err != nil {
+		t.Errorf("rejected valid (6,12): %v", err)
+	}
+}
+
+// stepPhase2 drives one move from a configuration already in A and
+// returns the successor configuration, asserting exactly one robot moves.
+func stepPhase2(t *testing.T, c config.Config) config.Config {
+	t.Helper()
+	w := corda.FromConfig(c, true)
+	movers := corda.MoverSet(w, RingClearing{})
+	if len(movers) != 1 {
+		t.Fatalf("config %v (%v): %d movers, want 1", c, ClassifyA(c), len(movers))
+	}
+	r := corda.NewRunner(w, RingClearing{})
+	for {
+		moved, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moved {
+			break
+		}
+	}
+	return w.Config()
+}
+
+func TestTheorem6CycleStructure(t *testing.T) {
+	// From C* the algorithm enters A and cycles A-a → A-b* → A-c → A-d →
+	// A-e → A-a; the class sequence must follow Fig. 12.
+	for _, tc := range []struct{ n, k int }{{11, 5}, {12, 5}, {12, 6}, {13, 7}, {14, 6}, {16, 9}, {15, 11}} {
+		c, err := config.CStar(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := (RingClearing{}).Validate(tc.n, tc.k); err != nil {
+			t.Fatal(err)
+		}
+		// C* is in A-f: first move enters A-a or A-b.
+		if got := ClassifyA(c); got != Af {
+			t.Fatalf("(%d,%d): C* classified %v", tc.n, tc.k, got)
+		}
+		c = stepPhase2(t, c)
+		if got := ClassifyA(c); got != Aa && got != Ab {
+			t.Fatalf("(%d,%d): after C*: %v, want A-a or A-b", tc.n, tc.k, got)
+		}
+		// Walk 5 full cycles and validate the class transition relation.
+		valid := map[AClass][]AClass{
+			Aa: {Ab, Ac}, // straight to A-c when the long gap is exactly 3
+			Ab: {Ab, Ac},
+			Ac: {Ad},
+			Ad: {Ae},
+			Ae: {Aa},
+		}
+		prev := ClassifyA(c)
+		seen := map[AClass]bool{prev: true}
+		moves := 5 * (tc.n + 5)
+		for i := 0; i < moves; i++ {
+			c = stepPhase2(t, c)
+			cur := ClassifyA(c)
+			ok := false
+			for _, nxt := range valid[prev] {
+				if cur == nxt {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("(%d,%d): illegal transition %v → %v at %v", tc.n, tc.k, prev, cur, c)
+			}
+			seen[cur] = true
+			prev = cur
+		}
+		mustSee := []AClass{Aa, Ac, Ad, Ae}
+		if tc.n-tc.k-1 > 3 {
+			// With a long gap of exactly 3 the A-b walk phase is empty.
+			mustSee = append(mustSee, Ab)
+		}
+		for _, class := range mustSee {
+			if !seen[class] {
+				t.Fatalf("(%d,%d): class %v never visited", tc.n, tc.k, class)
+			}
+		}
+	}
+}
+
+func TestTheorem6VerifyFromEveryRigidConfig(t *testing.T) {
+	// E5: perpetual searching + exploration certified from C* for a grid
+	// of (k,n); the Align phase from arbitrary rigid configurations is
+	// covered by the align package and the core package's end-to-end test.
+	for _, tc := range []struct{ n, k int }{{11, 5}, {11, 6}, {12, 5}, {12, 6}, {12, 7}, {13, 6}, {13, 8}, {14, 9}, {14, 5}} {
+		c, err := config.CStar(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Verify(c, RingClearing{}, 500*tc.n*tc.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", tc.n, tc.k, err)
+		}
+		if rep.Probes < 4 {
+			t.Errorf("(%d,%d): too few recontamination probes: %+v", tc.n, tc.k, rep)
+		}
+		if rep.MaxRecoverySteps <= 0 || rep.MaxRecoverySteps > 4*rep.CycleLen {
+			t.Errorf("(%d,%d): implausible recovery bound: %+v", tc.n, tc.k, rep)
+		}
+		if !rep.Explored {
+			t.Errorf("(%d,%d): not all robots visited all nodes (report %+v)", tc.n, tc.k, rep)
+		}
+	}
+}
+
+func TestNminusThreeValidate(t *testing.T) {
+	var alg NminusThree
+	if err := alg.Validate(12, 8); err == nil {
+		t.Error("accepted k != n-3")
+	}
+	if err := alg.Validate(9, 6); err == nil {
+		t.Error("accepted n=9")
+	}
+	if err := alg.Validate(10, 7); err != nil {
+		t.Errorf("rejected valid (10,7): %v", err)
+	}
+}
+
+func TestN3BlocksDecomposition(t *testing.T) {
+	// n=10, k=7: empties {0,5,8} → blocks 4 (1-4), 2 (6,7), 1 (9).
+	c := config.MustNew(10, 1, 2, 3, 4, 6, 7, 9)
+	blocks, err := n3Blocks(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0].size != 1 || blocks[1].size != 2 || blocks[2].size != 4 {
+		t.Fatalf("block sizes %d,%d,%d", blocks[0].size, blocks[1].size, blocks[2].size)
+	}
+	// Non-distinct blocks → not rigid → error.
+	sym := config.MustNew(9, 1, 2, 4, 5, 7, 8)
+	if _, err := n3Blocks(sym); err == nil {
+		t.Error("accepted equal blocks")
+	}
+	// Wrong robot count → error.
+	if _, err := n3Blocks(config.MustNew(10, 0, 1)); err == nil {
+		t.Error("accepted k != n-3")
+	}
+}
+
+func TestN3PlanPhase2Cycle(t *testing.T) {
+	// R2.1 → R2.2 → R2.3 → R2.1 on n=12, k=9.
+	n, k := 12, 9
+	// (0,2,k−2) = (0,2,7): occupied: 7-block 0..6, empty 7, pair 8,9,
+	// empties 10,11.
+	c := config.MustNew(n, 0, 1, 2, 3, 4, 5, 6, 8, 9)
+	blocks, err := n3Blocks(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0].size != 0 || blocks[1].size != 2 || blocks[2].size != k-2 {
+		t.Fatalf("fixture is not (0,2,k-2): %d,%d,%d", blocks[0].size, blocks[1].size, blocks[2].size)
+	}
+	rules := []N3Rule{}
+	for i := 0; i < 9; i++ {
+		p, err := ComputeN3Plan(c)
+		if err != nil {
+			t.Fatalf("step %d at %v: %v", i, c, err)
+		}
+		rules = append(rules, p.Rule)
+		next, err := c.Move(p.Mover, p.Target)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		c = next
+	}
+	want := []N3Rule{N3R21, N3R22, N3R23, N3R21, N3R22, N3R23, N3R21, N3R22, N3R23}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule sequence %v, want %v", rules, want)
+		}
+	}
+}
+
+func TestN3Phase1ReachesFinal(t *testing.T) {
+	// Lemma 9: phase 1 reaches a final configuration from any rigid
+	// configuration. Exhaustive over all rigid (A,B,C) partitions for
+	// n = 10..16.
+	for n := 10; n <= 16; n++ {
+		k := n - 3
+		for a := 0; a <= k/3; a++ {
+			for b := a + 1; b < k-a-b+1; b++ {
+				cBig := k - a - b
+				if !(a < b && b < cBig) {
+					continue
+				}
+				c := buildN3(n, a, b)
+				steps := 0
+				for {
+					blocks, err := n3Blocks(c)
+					if err != nil {
+						t.Fatalf("n=%d (A,B)=(%d,%d): %v at %v", n, a, b, err, c)
+					}
+					s := [3]int{blocks[0].size, blocks[1].size, blocks[2].size}
+					if s == [3]int{0, 2, k - 2} || s == [3]int{0, 3, k - 3} || s == [3]int{1, 2, k - 3} {
+						break
+					}
+					if steps > 4*n {
+						t.Fatalf("n=%d (A,B)=(%d,%d): no final configuration after %d steps", n, a, b, steps)
+					}
+					p, err := ComputeN3Plan(c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if p.Rule != N3R11 && p.Rule != N3R12 && p.Rule != N3R13 {
+						t.Fatalf("phase-1 config used phase-2 rule %v", p.Rule)
+					}
+					next, err := c.Move(p.Mover, p.Target)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c = next
+					steps++
+				}
+			}
+		}
+	}
+}
+
+// buildN3 constructs the configuration with blocks (a, b, k−a−b) separated
+// by single empty nodes (and the zero block collapsing two empties).
+func buildN3(n, a, b int) config.Config {
+	occupied := make([]int, 0, n-3)
+	pos := 0
+	for _, size := range []int{a, b, n - 3 - a - b} {
+		pos++ // empty separator
+		for i := 0; i < size; i++ {
+			occupied = append(occupied, pos)
+			pos++
+		}
+	}
+	return config.MustNew(n, occupied...)
+}
+
+func TestTheorem7Verify(t *testing.T) {
+	// E6: NminusThree perpetually clears and explores for k = n−3.
+	for n := 10; n <= 14; n++ {
+		c := buildN3(n, 0, 1) // (0,1,k−1): phase 1 needs R1.2 first
+		rep, err := Verify(c, NminusThree{}, 2000*n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rep.Probes < 4 {
+			t.Errorf("n=%d: too few recontamination probes: %+v", n, rep)
+		}
+		if !rep.Explored {
+			t.Errorf("n=%d: exploration incomplete: %+v", n, rep)
+		}
+	}
+}
+
+func TestN3LocalMatchesGlobal(t *testing.T) {
+	// Exactly one robot moves in every reachable NminusThree
+	// configuration, and it is the planner's mover.
+	for n := 10; n <= 14; n++ {
+		c := buildN3(n, 1, 2)
+		for step := 0; step < 6*n; step++ {
+			p, err := ComputeN3Plan(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := corda.FromConfig(c, true)
+			movers := corda.MoverSet(w, NminusThree{})
+			if len(movers) != 1 {
+				t.Fatalf("n=%d step %d: %d movers at %v", n, step, len(movers), c)
+			}
+			if w.Position(movers[0]) != p.Mover {
+				t.Fatalf("n=%d step %d: local mover %d, plan %d", n, step, w.Position(movers[0]), p.Mover)
+			}
+			next, err := c.Move(p.Mover, p.Target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c = next
+		}
+	}
+}
+
+func TestRingClearingLocalSingleMover(t *testing.T) {
+	// Throughout phase 2 of Ring Clearing exactly one robot wants to move.
+	for _, tc := range []struct{ n, k int }{{11, 5}, {12, 6}, {13, 7}, {14, 10}} {
+		c, _ := config.CStar(tc.n, tc.k)
+		for step := 0; step < 4*(tc.n+5); step++ {
+			w := corda.FromConfig(c, true)
+			movers := corda.MoverSet(w, RingClearing{})
+			if len(movers) != 1 {
+				t.Fatalf("(%d,%d) step %d: %d movers at %v (%v)", tc.n, tc.k, step, len(movers), c, ClassifyA(c))
+			}
+			c = stepPhase2(t, c)
+		}
+	}
+}
+
+func TestAClassStrings(t *testing.T) {
+	for a, want := range map[AClass]string{
+		NotInA: "not-in-A", Aa: "A-a", Ab: "A-b", Ac: "A-c", Ad: "A-d", Ae: "A-e", Af: "A-f",
+	} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", int(a), a.String())
+		}
+	}
+	for r, want := range map[N3Rule]string{
+		N3None: "none", N3R11: "R1.1", N3R12: "R1.2", N3R13: "R1.3",
+		N3R21: "R2.1", N3R22: "R2.2", N3R23: "R2.3",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}
