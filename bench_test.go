@@ -77,6 +77,60 @@ func BenchmarkSupermin(b *testing.B) {
 	}
 }
 
+// BenchmarkSuperminCold measures the one-shot cost of the canonical
+// pass (Booth + KMP + key) on a fresh Config each iteration — the honest
+// kernel cost, with the memoization benefit excluded. Rebuild overhead
+// (BenchmarkConfigRebuild) is included and can be subtracted.
+func BenchmarkSuperminCold(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{16, 8}, {64, 16}, {256, 32}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", tc.n, tc.k), func(b *testing.B) {
+			c, err := enumerate.RandomRigid(rand.New(rand.NewSource(3)), tc.n, tc.k, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes := c.Nodes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fresh := config.MustNew(tc.n, nodes...)
+				fresh.Supermin()
+			}
+		})
+	}
+}
+
+// BenchmarkConfigRebuild isolates the construction cost paid inside
+// BenchmarkSuperminCold.
+func BenchmarkConfigRebuild(b *testing.B) {
+	c, err := enumerate.RandomRigid(rand.New(rand.NewSource(3)), 256, 32, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := c.Nodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		config.MustNew(256, nodes...)
+	}
+}
+
+// BenchmarkCanonKey measures canonical-key construction on fresh
+// configurations (the dedup cost in enumeration and solver seen-sets).
+func BenchmarkCanonKey(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{9, 4}, {64, 16}, {256, 32}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", tc.n, tc.k), func(b *testing.B) {
+			c, err := enumerate.RandomRigid(rand.New(rand.NewSource(9)), tc.n, tc.k, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes := c.Nodes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fresh := config.MustNew(tc.n, nodes...)
+				fresh.CanonKey()
+			}
+		})
+	}
+}
+
 func BenchmarkRigidityDetection(b *testing.B) {
 	c, err := enumerate.RandomRigid(rand.New(rand.NewSource(4)), 128, 24, 100000)
 	if err != nil {

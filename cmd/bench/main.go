@@ -1,0 +1,220 @@
+// Command bench runs the repo's benchmark families programmatically and
+// emits a machine-readable BENCH_<date>.json, so the performance
+// trajectory of the hot paths (configuration algebra, Align planning,
+// Look/snapshot construction, enumeration, the impossibility solver) is
+// tracked across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/bench            # writes BENCH_<yyyy-mm-dd>.json
+//	go run ./cmd/bench -out f.json -filter Align
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ringrobots/internal/align"
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/enumerate"
+	"ringrobots/internal/feasibility"
+	"ringrobots/internal/gather"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+type family struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func families() []family {
+	var fams []family
+	add := func(name string, fn func(b *testing.B)) {
+		fams = append(fams, family{name: name, fn: fn})
+	}
+
+	rigid := func(seed int64, n, k int) config.Config {
+		c, err := enumerate.RandomRigid(rand.New(rand.NewSource(seed)), n, k, 100000)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+
+	// Configuration algebra: memoized, cold-kernel, and canonical key.
+	c256 := rigid(3, 256, 32)
+	add("Supermin/n=256/k=32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c256.Supermin()
+		}
+	})
+	nodes256 := c256.Nodes()
+	add("SuperminCold/n=256/k=32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh := config.MustNew(256, nodes256...)
+			fresh.Supermin()
+		}
+	})
+	add("CanonKey/n=256/k=32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh := config.MustNew(256, nodes256...)
+			fresh.CanonKey()
+		}
+	})
+	c128 := rigid(4, 128, 24)
+	add("RigidityDetection/n=128/k=24", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !c128.IsRigid() {
+				b.Fatal("fixture lost rigidity")
+			}
+		}
+	})
+
+	// Align planning loop (drive to C* from a rigid start).
+	for _, tc := range []struct{ n, k int }{{12, 5}, {24, 8}, {48, 12}, {96, 16}} {
+		start := rigid(1, tc.n, tc.k)
+		add(fmt.Sprintf("AlignPlanner/n=%d/k=%d", tc.n, tc.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := start
+				for !c.IsCStar() {
+					p, err := align.ComputePlan(c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					c, err = align.Apply(c, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+
+	// One robot's Look+Compute.
+	cLocal := rigid(2, 32, 10)
+	wLocal := corda.FromConfig(cLocal, true)
+	snapLocal, _ := wLocal.Snapshot(3)
+	add("AlignLocalDecision/n=32/k=10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.DecideFromSnapshot(snapLocal)
+		}
+	})
+
+	// Snapshot construction (the shared cost of every Look).
+	cSnap := rigid(7, 256, 24)
+	wSnap := corda.FromConfig(cSnap, true)
+	add("Snapshot/n=256/k=24", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wSnap.Snapshot(i % 24)
+		}
+	})
+
+	// Enumeration / transition diagrams (Figure 5: k=4, n=8).
+	add("TransitionDiagram/fig5_k4_n8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := feasibility.NewTransitionGraph(8, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(g.Classes) != 8 {
+				b.Fatalf("class count %d != 8", len(g.Classes))
+			}
+		}
+	})
+
+	// Impossibility game solver (Figure 4's parameters).
+	add("Impossibility/k=4_n=7", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := feasibility.NewSolver(7, 4).Solve()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Impossible {
+				b.Fatal("expected impossibility")
+			}
+		}
+	})
+
+	// Full gathering run (Align phase + contraction + final walk).
+	gStart := rigid(5, 24, 8)
+	add("Gathering/n=24/k=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w, err := gather.NewWorld(gStart)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := gather.Run(w, 500*24*24); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	return fams
+}
+
+func main() {
+	date := time.Now().Format("2006-01-02")
+	out := flag.String("out", "BENCH_"+date+".json", "output JSON path")
+	filter := flag.String("filter", "", "only run families whose name contains this substring")
+	flag.Parse()
+
+	rep := report{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, f := range families() {
+		if *filter != "" && !strings.Contains(f.name, *filter) {
+			continue
+		}
+		r := testing.Benchmark(f.fn)
+		res := result{
+			Name:        f.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Printf("%-32s %12.1f ns/op %8d allocs/op %10d B/op\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

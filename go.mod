@@ -1,0 +1,3 @@
+module ringrobots
+
+go 1.22

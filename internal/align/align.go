@@ -112,12 +112,22 @@ func ComputePlan(c config.Config) (Plan, error) {
 
 	w, anchors := c.Supermin()
 	a := anchors[0] // rigid ⇒ unique anchor (Lemma 1)
-	nodes := nodesInOrder(c, a)
 	k := c.K()
+	// nthNode(j) is the j-th occupied node reading from the anchor in its
+	// direction, i.e. the node between intervals q_{j−1} and q_j of the
+	// supermin view — an O(1) index computation, replacing the former
+	// nodesInOrder slice materialization on this per-step hot path.
+	start := c.IndexOf(a.Node)
+	nthNode := func(j int) int {
+		if a.Dir == ring.CW {
+			return c.NodeByIndex((start + j) % k)
+		}
+		return c.NodeByIndex(((start-j)%k + k) % k)
+	}
 
 	if w[0] > 0 {
 		// reduction_0: the robot at node a moves into interval q0.
-		return Plan{Rule: Rule0, Mover: nodes[0], Target: c.Ring().Step(nodes[0], a.Dir)}, nil
+		return Plan{Rule: Rule0, Mover: a.Node, Target: c.Ring().Step(a.Node, a.Dir)}, nil
 	}
 
 	l1 := firstPositive(w, 0)
@@ -125,7 +135,8 @@ func ComputePlan(c config.Config) (Plan, error) {
 		return Plan{}, fmt.Errorf("align: all-zero supermin view in %v", c)
 	}
 	// reduction_1: robot b between q_{ℓ1} and q_{ℓ1+1} moves into q_{ℓ1}.
-	p1 := Plan{Rule: Rule1, Mover: nodes[(l1+1)%k], Target: c.Ring().Step(nodes[(l1+1)%k], a.Dir.Opposite())}
+	b := nthNode((l1 + 1) % k)
+	p1 := Plan{Rule: Rule1, Mover: b, Target: c.Ring().Step(b, a.Dir.Opposite())}
 	if next, err := apply(c, p1); err == nil && !next.IsSymmetric() {
 		return p1, nil
 	}
@@ -133,14 +144,16 @@ func ComputePlan(c config.Config) (Plan, error) {
 	l2 := firstPositive(w, l1+1)
 	if l2 > 0 {
 		// reduction_2: robot c between q_{ℓ2} and q_{ℓ2+1} moves into q_{ℓ2}.
-		p2 := Plan{Rule: Rule2, Mover: nodes[(l2+1)%k], Target: c.Ring().Step(nodes[(l2+1)%k], a.Dir.Opposite())}
+		m2 := nthNode((l2 + 1) % k)
+		p2 := Plan{Rule: Rule2, Mover: m2, Target: c.Ring().Step(m2, a.Dir.Opposite())}
 		if next, err := apply(c, p2); err == nil && !next.IsSymmetric() {
 			return p2, nil
 		}
 	}
 
 	// reduction_{−1}: robot d between q_{k−2} and q_{k−1} moves into q_{k−1}.
-	pm := Plan{Rule: RuleMinus1, Mover: nodes[k-1], Target: c.Ring().Step(nodes[k-1], a.Dir)}
+	d := nthNode(k - 1)
+	pm := Plan{Rule: RuleMinus1, Mover: d, Target: c.Ring().Step(d, a.Dir)}
 	if next, err := apply(c, pm); err == nil && !next.IsSymmetric() {
 		return pm, nil
 	}
@@ -182,33 +195,6 @@ func postCsAxisRobot(c config.Config) (int, bool) {
 	return 0, false
 }
 
-// nodesInOrder lists the occupied nodes starting at the anchor and
-// following its reading direction, so that nodes[i] sits between intervals
-// q_{i−1} and q_i of the supermin view.
-func nodesInOrder(c config.Config, a config.Anchor) []int {
-	sorted := c.Nodes()
-	k := len(sorted)
-	start := -1
-	for i, u := range sorted {
-		if u == a.Node {
-			start = i
-			break
-		}
-	}
-	if start < 0 {
-		panic("align: anchor not an occupied node")
-	}
-	out := make([]int, k)
-	for j := 0; j < k; j++ {
-		if a.Dir == ring.CW {
-			out[j] = sorted[(start+j)%k]
-		} else {
-			out[j] = sorted[((start-j)%k+k)%k]
-		}
-	}
-	return out
-}
-
 func firstPositive(v config.View, from int) int {
 	for i := from; i < len(v); i++ {
 		if v[i] > 0 {
@@ -242,6 +228,16 @@ func DecideFromSnapshot(s corda.Snapshot) corda.Decision {
 	if err != nil {
 		return corda.Stay
 	}
+	return DecideReconstructed(c)
+}
+
+// DecideReconstructed computes the Align decision given the robot's own
+// reconstruction of the configuration — built with the robot at node 0
+// and its Lo view read clockwise, as config.FromIntervals(0, s.Lo) does.
+// Composed algorithms that already hold such a reconstruction (gathering's
+// C*-type test, searching's phase dispatch) call this directly instead of
+// rebuilding it through DecideFromSnapshot.
+func DecideReconstructed(c config.Config) corda.Decision {
 	p, err := ComputePlan(c)
 	if err != nil || p.Done || p.Mover != 0 {
 		return corda.Stay

@@ -652,3 +652,32 @@ func ExampleComputePlan() {
 	fmt.Println(p.Rule)
 	// Output: reduction0
 }
+
+// nodesInOrder lists the occupied nodes starting at the anchor and
+// following its reading direction, so that nodes[i] sits between
+// intervals q_{i−1} and q_i of the supermin view. Retained as a test
+// helper; production code computes the same mapping index-wise without
+// materializing the slice (see ComputePlan's nthNode).
+func nodesInOrder(c config.Config, a config.Anchor) []int {
+	sorted := c.Nodes()
+	k := len(sorted)
+	start := -1
+	for i, u := range sorted {
+		if u == a.Node {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		panic("align: anchor not an occupied node")
+	}
+	out := make([]int, k)
+	for j := 0; j < k; j++ {
+		if a.Dir == ring.CW {
+			out[j] = sorted[(start+j)%k]
+		} else {
+			out[j] = sorted[((start-j)%k+k)%k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringrobots/internal/ring"
+)
+
+// randomConfig draws a uniformly random exclusive configuration with
+// 1 ≤ k ≤ n−1 occupied nodes on an n-node ring.
+func randomConfig(rng *rand.Rand, n int) Config {
+	k := 1 + rng.Intn(n-1)
+	nodes := rng.Perm(n)[:k]
+	return MustNew(n, nodes...)
+}
+
+// TestBoothSuperminMatchesNaive cross-checks the Booth-based supermin
+// and anchor set against the quadratic all-views oracle on thousands of
+// random configurations up to n = 256.
+func TestBoothSuperminMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 0
+	for _, n := range []int{3, 4, 5, 6, 7, 8, 9, 12, 16, 31, 32, 64, 100, 255, 256} {
+		per := 400
+		if n > 64 {
+			per = 60
+		}
+		for i := 0; i < per; i++ {
+			c := randomConfig(rng, n)
+			gotV, gotA := c.Supermin()
+			wantV, wantA := c.superminNaive()
+			if !gotV.Equal(wantV) {
+				t.Fatalf("n=%d %v: supermin %v, naive %v", n, c.Nodes(), gotV, wantV)
+			}
+			if len(gotA) != len(wantA) {
+				t.Fatalf("n=%d %v: anchors %v, naive %v", n, c.Nodes(), gotA, wantA)
+			}
+			for j := range gotA {
+				if gotA[j] != wantA[j] {
+					t.Fatalf("n=%d %v: anchors %v, naive %v", n, c.Nodes(), gotA, wantA)
+				}
+			}
+			trials++
+		}
+	}
+	t.Logf("checked %d random configurations", trials)
+}
+
+// TestKMPClassificationMatchesNaive cross-checks periodicity and
+// symmetry against the rotation-loop oracles.
+func TestKMPClassificationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 24, 48, 128, 256} {
+		per := 400
+		if n > 64 {
+			per = 60
+		}
+		for i := 0; i < per; i++ {
+			c := randomConfig(rng, n)
+			if got, want := c.IsPeriodic(), c.isPeriodicNaive(); got != want {
+				t.Fatalf("n=%d %v: IsPeriodic=%v, naive=%v", n, c.Nodes(), got, want)
+			}
+			if got, want := c.IsSymmetric(), c.isSymmetricNaive(); got != want {
+				t.Fatalf("n=%d %v: IsSymmetric=%v, naive=%v", n, c.Nodes(), got, want)
+			}
+		}
+	}
+}
+
+// TestClassificationExhaustiveSmall compares kernels with oracles on
+// every exclusive configuration of every ring up to n = 11 — complete
+// coverage of the small cases the solver and Figures 4–9 rely on.
+func TestClassificationExhaustiveSmall(t *testing.T) {
+	for n := 3; n <= 11; n++ {
+		for mask := 1; mask < 1<<uint(n); mask++ {
+			var nodes []int
+			for u := 0; u < n; u++ {
+				if mask&(1<<uint(u)) != 0 {
+					nodes = append(nodes, u)
+				}
+			}
+			c := MustNew(n, nodes...)
+			gotV, gotA := c.Supermin()
+			wantV, wantA := c.superminNaive()
+			if !gotV.Equal(wantV) {
+				t.Fatalf("n=%d %v: supermin %v, naive %v", n, nodes, gotV, wantV)
+			}
+			if len(gotA) != len(wantA) {
+				t.Fatalf("n=%d %v: anchors %v, naive %v", n, nodes, gotA, wantA)
+			}
+			for j := range gotA {
+				if gotA[j] != wantA[j] {
+					t.Fatalf("n=%d %v: anchors %v, naive %v", n, nodes, gotA, wantA)
+				}
+			}
+			if got, want := c.IsPeriodic(), c.isPeriodicNaive(); got != want {
+				t.Fatalf("n=%d %v: IsPeriodic=%v, naive=%v", n, nodes, got, want)
+			}
+			if got, want := c.IsSymmetric(), c.isSymmetricNaive(); got != want {
+				t.Fatalf("n=%d %v: IsSymmetric=%v, naive=%v", n, nodes, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonKeyMatchesCanonicalString verifies that the compact key
+// induces exactly the same equivalence classes as the legacy string key:
+// two configurations share a CanonKey iff they share Canonical().
+func TestCanonKeyMatchesCanonicalString(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	byKey := make(map[CanonKey]string)
+	byStr := make(map[string]CanonKey)
+	for _, n := range []int{3, 5, 8, 12, 16, 33, 64, 200, 256} {
+		per := 300
+		if n > 64 {
+			per = 50
+		}
+		for i := 0; i < per; i++ {
+			c := randomConfig(rng, n)
+			key, str := c.CanonKey(), c.Canonical()
+			if prev, ok := byKey[key]; ok && prev != str {
+				t.Fatalf("CanonKey collision: %v for both %q and %q", key, prev, str)
+			}
+			if prev, ok := byStr[str]; ok && prev != key {
+				t.Fatalf("canonical string %q mapped to two keys %v and %v", str, prev, key)
+			}
+			byKey[key] = str
+			byStr[str] = key
+		}
+	}
+	t.Logf("%d distinct classes cross-checked", len(byKey))
+}
+
+// TestCanonKeyRoundTrip decodes keys back into views, covering both the
+// packed-word and byte-string representations.
+func TestCanonKeyRoundTrip(t *testing.T) {
+	views := []View{
+		{0},
+		{5},
+		{0, 0, 1, 3},
+		{2, 2, 2},
+		make(View, 60), // forces the byte-string fallback (k ≥ 53 at 1 bit)
+	}
+	big := make(View, 30)
+	for i := range big {
+		big[i] = 1000 + i // large values force the fallback too
+	}
+	views = append(views, big)
+	for _, v := range views {
+		ck := KeyOf(v)
+		back := ck.View()
+		if !back.Equal(v) {
+			t.Fatalf("round trip %v -> %v -> %v", v, ck, back)
+		}
+	}
+	if !(CanonKey{}).IsZero() {
+		t.Fatal("zero CanonKey not IsZero")
+	}
+	if KeyOf(View{0}).IsZero() {
+		t.Fatal("KeyOf((0)) is zero-valued; packed encoding must disambiguate")
+	}
+}
+
+// TestCanonKeyInjectiveOnViews feeds many distinct raw views (not just
+// supermins) through KeyOf and requires pairwise-distinct keys.
+func TestCanonKeyInjectiveOnViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	seen := make(map[CanonKey]string)
+	add := func(v View) {
+		ck := KeyOf(v)
+		s := v.String()
+		if prev, ok := seen[ck]; ok && prev != s {
+			t.Fatalf("KeyOf collision: %v for %q and %q", ck, prev, s)
+		}
+		seen[ck] = s
+	}
+	// Systematic near-collision shapes: same multiset, different order;
+	// same digits, different lengths; boundary sizes around the packed
+	// capacity.
+	add(View{1, 2})
+	add(View{2, 1})
+	add(View{1, 2, 0})
+	add(View{0, 1, 2})
+	add(View{12})
+	add(View{1, 2})
+	for k := 50; k <= 56; k++ {
+		v := make(View, k)
+		v[k-1] = 1
+		add(v)
+	}
+	for i := 0; i < 4000; i++ {
+		k := 1 + rng.Intn(40)
+		v := make(View, k)
+		for j := range v {
+			v[j] = rng.Intn(1 << uint(rng.Intn(12)))
+		}
+		add(v)
+	}
+	t.Logf("%d distinct views keyed", len(seen))
+}
+
+// TestSuperminMinimalityProperty is a property check independent of
+// the oracle implementation: the supermin must be ≤ every directional
+// view, and every anchor's reading must equal it.
+func TestSuperminMinimalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for i := 0; i < 1500; i++ {
+		n := 3 + rng.Intn(60)
+		c := randomConfig(rng, n)
+		sm, anchors := c.Supermin()
+		for _, u := range c.Nodes() {
+			for _, d := range []ring.Direction{ring.CW, ring.CCW} {
+				if c.ViewFrom(u, d).Less(sm) {
+					t.Fatalf("%v: view from %d %v beats supermin %v", c, u, d, sm)
+				}
+			}
+		}
+		if len(anchors) == 0 {
+			t.Fatalf("%v: no anchors", c)
+		}
+		for _, a := range anchors {
+			if !c.ViewFrom(a.Node, a.Dir).Equal(sm) {
+				t.Fatalf("%v: anchor %v does not realize supermin %v", c, a, sm)
+			}
+		}
+	}
+}
+
+// TestCachedClassificationStableAcrossCopies ensures by-value copies
+// share the memoized data and agree on every derived quantity.
+func TestCachedClassificationStableAcrossCopies(t *testing.T) {
+	c := MustNew(12, 0, 2, 3, 7, 9)
+	c2 := c
+	v1, a1 := c.Supermin()
+	v2, a2 := c2.Supermin()
+	if &v1[0] != &v2[0] || &a1[0] != &a2[0] {
+		t.Error("copies recomputed canonical data instead of sharing the cache")
+	}
+	if c.CanonKey() != c2.CanonKey() {
+		t.Error("copies disagree on CanonKey")
+	}
+}

@@ -12,9 +12,13 @@ import (
 // node; multiplicities belong to the simulator's world state.
 //
 // A Config is immutable once built; all mutating operations return copies.
+// Derived data (interval cycle, supermin view, anchors, symmetry class,
+// canonical key) is computed lazily in O(k) and memoized, so repeated
+// queries are free; see canon.go.
 type Config struct {
 	r     ring.Ring
 	nodes []int // occupied nodes, strictly increasing, in [0, n)
+	cc    *canonCell
 }
 
 // New builds a configuration from the given occupied nodes on an n-node
@@ -41,7 +45,7 @@ func New(n int, occupied ...int) (Config, error) {
 			return Config{}, fmt.Errorf("config: node %d occupied twice; a configuration is a set of nodes", u)
 		}
 	}
-	return Config{r: ring.New(n), nodes: nodes}, nil
+	return Config{r: ring.New(n), nodes: nodes, cc: &canonCell{}}, nil
 }
 
 // MustNew is New, panicking on error. Intended for tests and literals.
@@ -113,21 +117,23 @@ func (c Config) nodeIndex(u int) int {
 	return -1
 }
 
+// IndexOf returns the index of occupied node u in the increasing node
+// order (the same order as Nodes()), or -1 if u is empty.
+func (c Config) IndexOf(u int) int { return c.nodeIndex(u) }
+
+// NodeByIndex returns the i-th occupied node in increasing order,
+// without allocating (Nodes() returns a fresh slice; this does not).
+func (c Config) NodeByIndex(i int) int { return c.nodes[i] }
+
 // Intervals returns the interval cycle g where g[i] is the number of empty
 // nodes strictly between occupied node i and occupied node i+1 (clockwise,
-// indices into Nodes(), cyclically).
+// indices into Nodes(), cyclically). The returned slice is fresh.
 func (c Config) Intervals() View {
-	k := len(c.nodes)
-	g := make(View, k)
-	for i := 0; i < k; i++ {
-		next := c.nodes[(i+1)%k]
-		g[i] = c.r.Norm(next-c.nodes[i]) - 1
-		if k == 1 {
-			g[i] = c.r.N() - 1
-		}
-	}
-	return g
+	return c.canon().g.Clone()
 }
+
+// intervals returns the memoized interval cycle. Callers must not modify.
+func (c Config) intervals() View { return c.canon().g }
 
 // ViewFrom returns the view of the occupied node u read in direction d.
 // It panics if u is not occupied.
@@ -136,7 +142,7 @@ func (c Config) ViewFrom(u int, d ring.Direction) View {
 	if i < 0 {
 		return panicUnoccupied(u)
 	}
-	g := c.Intervals()
+	g := c.intervals()
 	k := len(g)
 	v := make(View, k)
 	if d == ring.CW {
@@ -186,30 +192,17 @@ type Anchor struct {
 
 // Supermin returns the supermin configuration view W^C_min (§2): the
 // lexicographically minimal view over all anchors, together with every
-// anchor realizing it.
+// anchor realizing it. Computed once per Config via Booth's least-
+// rotation algorithm (O(k)) and memoized; the returned slices are shared
+// and must not be modified.
 func (c Config) Supermin() (View, []Anchor) {
-	var best View
-	var anchors []Anchor
-	for _, u := range c.nodes {
-		for _, d := range []ring.Direction{ring.CW, ring.CCW} {
-			v := c.ViewFrom(u, d)
-			switch {
-			case best == nil || v.Less(best):
-				best = v
-				anchors = anchors[:0]
-				anchors = append(anchors, Anchor{Node: u, Dir: d})
-			case v.Equal(best):
-				anchors = append(anchors, Anchor{Node: u, Dir: d})
-			}
-		}
-	}
-	return best, anchors
+	d := c.canon()
+	return d.supermin, d.anchors
 }
 
-// SuperminView returns just the supermin view.
+// SuperminView returns just the supermin view (shared; do not modify).
 func (c Config) SuperminView() View {
-	v, _ := c.Supermin()
-	return v
+	return c.canon().supermin
 }
 
 // SuperminIntervals returns the paper's set I_C: the interval positions at
@@ -225,63 +218,45 @@ func (c Config) SuperminView() View {
 func (c Config) SuperminIntervals() []int {
 	_, anchors := c.Supermin()
 	k := len(c.nodes)
-	seen := make(map[int]bool, len(anchors))
-	var out []int
+	out := make([]int, 0, len(anchors))
 	for _, a := range anchors {
 		i := c.nodeIndex(a.Node)
 		// Reading CW from node i starts with interval i; reading CCW
 		// starts with interval i−1.
 		gi := i
 		if a.Dir == ring.CCW {
-			gi = ((i - 1) % k) + k
-			gi %= k
+			gi = ((i-1)%k + k) % k
 		}
-		if !seen[gi] {
-			seen[gi] = true
-			out = append(out, gi)
-		}
+		out = append(out, gi)
 	}
 	sort.Ints(out)
-	return out
+	// Deduplicate in place (sorted).
+	w := 0
+	for i, gi := range out {
+		if i == 0 || gi != out[w-1] {
+			out[w] = gi
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // IsPeriodic reports whether the configuration is invariant under a
 // non-trivial rotation (§2). Equivalent, via Property 1(i), to the interval
-// cycle equaling one of its non-trivial rotations.
+// cycle equaling one of its non-trivial rotations — detected in O(k) by a
+// KMP search of the cycle inside its doubling, memoized.
 func (c Config) IsPeriodic() bool {
-	g := c.Intervals()
-	k := len(g)
-	if k <= 1 {
-		return false
-	}
-	for s := 1; s < k; s++ {
-		if g.Rotated(s).Equal(g) {
-			// A rotation of the interval cycle by s corresponds to an
-			// actual ring rotation only if it shifts nodes consistently —
-			// which it always does: the rotation amount is the sum of the
-			// first s gaps plus s.
-			return true
-		}
-	}
-	return false
+	d := c.canon()
+	return d.period < len(c.nodes)
 }
 
 // IsSymmetric reports whether the ring admits a geometric axis of symmetry
 // mapping the configuration to itself (§2). Via Property 1(ii) this holds
-// iff the reversed interval cycle is a rotation of the interval cycle.
+// iff the reversed interval cycle is a rotation of the interval cycle —
+// equivalently, iff the minimal CW and CCW readings coincide, which the
+// memoized Booth pass establishes for free.
 func (c Config) IsSymmetric() bool {
-	g := c.Intervals()
-	k := len(g)
-	if k == 1 {
-		return true
-	}
-	rev := g.Reversed()
-	for s := 0; s < k; s++ {
-		if rev.Rotated(s).Equal(g) {
-			return true
-		}
-	}
-	return false
+	return c.canon().symmetric
 }
 
 // IsRigid reports whether the configuration is aperiodic and asymmetric.
@@ -309,14 +284,29 @@ func (c Config) Move(from, to int) (Config, error) {
 	if c.Occupied(to) {
 		return Config{}, fmt.Errorf("config: destination node %d is occupied", to)
 	}
+	return c.rebuildWithout(from, to), nil
+}
+
+// rebuildWithout returns the configuration with node from vacated and
+// node to occupied (to must not already be occupied unless it equals an
+// existing node being kept, which callers rule out). It builds the new
+// sorted node set in one pass, skipping New's validation and re-sort.
+func (c Config) rebuildWithout(from, to int) Config {
 	nodes := make([]int, 0, len(c.nodes))
+	inserted := false
 	for _, u := range c.nodes {
+		if !inserted && to < u {
+			nodes = append(nodes, to)
+			inserted = true
+		}
 		if u != from {
 			nodes = append(nodes, u)
 		}
 	}
-	nodes = append(nodes, to)
-	return New(c.N(), nodes...)
+	if !inserted {
+		nodes = append(nodes, to)
+	}
+	return Config{r: c.r, nodes: nodes, cc: &canonCell{}}
 }
 
 // MoveMerge is Move but allows the destination to be occupied, in which
@@ -330,20 +320,27 @@ func (c Config) MoveMerge(from, to int) (Config, error) {
 	if !c.Occupied(from) {
 		return Config{}, fmt.Errorf("config: source node %d is empty", from)
 	}
-	nodes := make([]int, 0, len(c.nodes))
-	for _, u := range c.nodes {
-		if u != from && u != to {
-			nodes = append(nodes, u)
+	if c.Occupied(to) {
+		// Merge: the source node simply disappears from the set.
+		nodes := make([]int, 0, len(c.nodes)-1)
+		for _, u := range c.nodes {
+			if u != from {
+				nodes = append(nodes, u)
+			}
 		}
+		return Config{r: c.r, nodes: nodes, cc: &canonCell{}}, nil
 	}
-	nodes = append(nodes, to)
-	return New(c.N(), nodes...)
+	return c.rebuildWithout(from, to), nil
 }
 
 // Canonical returns a canonical key identifying the configuration up to
 // rotation and reflection of the ring: the supermin view. Two
 // configurations are equivalent (indistinguishable in the anonymous,
 // unoriented model) iff their canonical keys are equal.
+//
+// Deprecated-ish: prefer CanonKey, which is comparable, allocation-free
+// after the first touch, and much cheaper to hash. Canonical remains for
+// human-readable output.
 func (c Config) Canonical() string {
 	return c.SuperminView().Key()
 }

@@ -1,0 +1,95 @@
+package config
+
+import "ringrobots/internal/ring"
+
+// Naive reference implementations of the configuration algebra, kept as
+// oracles for the differential tests of the Booth/KMP kernels in
+// canon.go. They deliberately mirror the paper's definitions literally:
+// supermin as the minimum over all 2k directional views (O(k²)),
+// periodicity and symmetry as rotation-loop scans. Production code must
+// never call these; see canon.go for the O(k) versions.
+
+// intervalsNaive recomputes the interval cycle without the cache.
+func (c Config) intervalsNaive() View {
+	k := len(c.nodes)
+	g := make(View, k)
+	for i := 0; i < k; i++ {
+		next := c.nodes[(i+1)%k]
+		g[i] = c.r.Norm(next-c.nodes[i]) - 1
+		if k == 1 {
+			g[i] = c.r.N() - 1
+		}
+	}
+	return g
+}
+
+// viewFromNaive reads the view at occupied-node index i in direction d,
+// from a freshly computed interval cycle.
+func (c Config) viewFromNaive(i int, d ring.Direction) View {
+	g := c.intervalsNaive()
+	k := len(g)
+	v := make(View, k)
+	if d == ring.CW {
+		for j := 0; j < k; j++ {
+			v[j] = g[(i+j)%k]
+		}
+	} else {
+		for j := 0; j < k; j++ {
+			v[j] = g[((i-1-j)%k+k)%k]
+		}
+	}
+	return v
+}
+
+// superminNaive is the original quadratic supermin: compare all 2k views.
+func (c Config) superminNaive() (View, []Anchor) {
+	var best View
+	var anchors []Anchor
+	for i, u := range c.nodes {
+		for _, d := range []ring.Direction{ring.CW, ring.CCW} {
+			v := c.viewFromNaive(i, d)
+			switch {
+			case best == nil || v.Less(best):
+				best = v
+				anchors = anchors[:0]
+				anchors = append(anchors, Anchor{Node: u, Dir: d})
+			case v.Equal(best):
+				anchors = append(anchors, Anchor{Node: u, Dir: d})
+			}
+		}
+	}
+	return best, anchors
+}
+
+// isPeriodicNaive checks invariance under non-trivial rotation by
+// comparing the interval cycle with each of its rotations.
+func (c Config) isPeriodicNaive() bool {
+	g := c.intervalsNaive()
+	k := len(g)
+	if k <= 1 {
+		return false
+	}
+	for s := 1; s < k; s++ {
+		if g.Rotated(s).Equal(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSymmetricNaive checks for an axis of symmetry by testing whether the
+// reversed interval cycle is any rotation of the interval cycle.
+func (c Config) isSymmetricNaive() bool {
+	g := c.intervalsNaive()
+	k := len(g)
+	if k == 1 {
+		return true
+	}
+	rev := g.Reversed()
+	for s := 0; s < k; s++ {
+		if rev.Rotated(s).Equal(g) {
+			return true
+		}
+	}
+	return false
+}

@@ -29,11 +29,24 @@ func CStar(n, k int) (Config, error) {
 // IsCStar reports whether c is (equivalent to) the configuration C* for
 // its own n and k.
 func (c Config) IsCStar() bool {
-	v, err := CStarView(c.N(), c.K())
-	if err != nil {
+	return c.isCStarShape(c.K())
+}
+
+// isCStarShape checks supermin == (0^{j−2}, 1, n−j−1) without
+// materializing the target view (this test runs once per planning step
+// in every task loop, so it must not allocate).
+func (c Config) isCStarShape(j int) bool {
+	n := c.N()
+	if j < 2 || j >= n-2 || j != c.K() {
 		return false
 	}
-	return c.SuperminView().Equal(v)
+	sm := c.SuperminView()
+	for i := 0; i < j-2; i++ {
+		if sm[i] != 0 {
+			return false
+		}
+	}
+	return sm[j-2] == 1 && sm[j-1] == n-j-1
 }
 
 // IsCStarType reports whether c is a C*-type configuration in the sense of
@@ -46,11 +59,7 @@ func (c Config) IsCStarType() (bool, int) {
 	if j < 3 {
 		return false, j
 	}
-	v, err := CStarView(c.N(), j)
-	if err != nil {
-		return false, j
-	}
-	return c.SuperminView().Equal(v), j
+	return c.isCStarShape(j), j
 }
 
 // CStarTypeAnchor returns, for a C*-type configuration, the node playing
@@ -83,7 +92,11 @@ func CsView() View { return View{0, 1, 1, 2} }
 
 // IsCs reports whether c is (equivalent to) configuration Cs.
 func (c Config) IsCs() bool {
-	return c.K() == 4 && c.N() == 8 && c.SuperminView().Equal(CsView())
+	if c.K() != 4 || c.N() != 8 {
+		return false
+	}
+	sm := c.SuperminView()
+	return sm[0] == 0 && sm[1] == 1 && sm[2] == 1 && sm[3] == 2
 }
 
 // PostCsView is the supermin view (0,0,2,2) of the symmetric configuration
@@ -93,5 +106,9 @@ func PostCsView() View { return View{0, 0, 2, 2} }
 
 // IsPostCs reports whether c is the symmetric intermediate (0,0,2,2).
 func (c Config) IsPostCs() bool {
-	return c.K() == 4 && c.N() == 8 && c.SuperminView().Equal(PostCsView())
+	if c.K() != 4 || c.N() != 8 {
+		return false
+	}
+	sm := c.SuperminView()
+	return sm[0] == 0 && sm[1] == 0 && sm[2] == 2 && sm[3] == 2
 }

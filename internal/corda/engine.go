@@ -28,6 +28,16 @@ type Engine struct {
 	Stop func(w *World) bool
 	// Seed drives Either resolutions.
 	Seed int64
+	// FairnessWindow bounds how many Looks any robot may be served ahead
+	// of the least-served robot (0 means the default of 8). The model
+	// requires fair scheduling — every robot completes cycles infinitely
+	// often — but the Go scheduler alone does not guarantee it: on a
+	// single P, a robot whose channel handoffs keep inheriting the
+	// coordinator's time slice can monopolize the budget and starve the
+	// rest (the runnext ping-pong pathology). The coordinator therefore
+	// defers Look requests from robots that are too far ahead until the
+	// laggards catch up.
+	FairnessWindow int
 }
 
 type lookRequest struct {
@@ -109,13 +119,77 @@ func (e *Engine) Run() (looks, moves int, err error) {
 	}
 
 	rng := rand.New(rand.NewSource(e.Seed))
+	window := e.FairnessWindow
+	if window <= 0 {
+		window = 8
+	}
+	servedBy := make([]int, k) // looks served per robot, for fairness
+	minServed := 0
+	deferred := make([]lookRequest, 0, k) // parked until laggards catch up
+	recountMin := func() {
+		minServed = servedBy[0]
+		for _, s := range servedBy[1:] {
+			if s < minServed {
+				minServed = s
+			}
+		}
+	}
 	halting := false
 	var firstErr error
 	served := 0
 	halted := 0
+	serveLook := func(req lookRequest) {
+		served++
+		looks++
+		servedBy[req.id]++
+		if servedBy[req.id]-1 == minServed {
+			recountMin()
+		}
+		snap, loDir := e.World.Snapshot(req.id)
+		if snap.Symmetric() && rng.Intn(2) == 0 {
+			// Adversary choice for indistinguishable directions.
+			loDir = loDir.Opposite()
+		}
+		req.reply <- lookReply{snap: snap, loDir: loDir}
+	}
 	for halted < k {
 		if !halting && (served >= e.Budget || (e.Stop != nil && e.Stop(e.World))) {
 			halting = true
+		}
+		if halting && len(deferred) > 0 {
+			for _, req := range deferred {
+				req.reply <- lookReply{halt: true}
+				halted++
+			}
+			deferred = deferred[:0]
+			continue
+		}
+		// Release parked robots that are no longer ahead of the window,
+		// re-checking the budget and stop condition before each serve so
+		// a release pass can never overshoot the Look cap.
+		if len(deferred) > 0 {
+			kept := deferred[:0]
+			for i, req := range deferred {
+				if !halting && (served >= e.Budget || (e.Stop != nil && e.Stop(e.World))) {
+					halting = true
+				}
+				if halting {
+					kept = append(kept, deferred[i:]...)
+					break
+				}
+				if servedBy[req.id]-minServed < window {
+					serveLook(req)
+				} else {
+					kept = append(kept, req)
+				}
+			}
+			deferred = kept
+			if halting {
+				continue // flush the remainder via the halting branch
+			}
+		}
+		if halted >= k {
+			break
 		}
 		select {
 		case req := <-lookCh:
@@ -124,14 +198,13 @@ func (e *Engine) Run() (looks, moves int, err error) {
 				halted++
 				continue
 			}
-			served++
-			looks++
-			snap, loDir := e.World.Snapshot(req.id)
-			if snap.Symmetric() && rng.Intn(2) == 0 {
-				// Adversary choice for indistinguishable directions.
-				loDir = loDir.Opposite()
+			if servedBy[req.id]-minServed >= window {
+				// This robot is running too far ahead of the slowest one;
+				// park its request so the starved robots get scheduled.
+				deferred = append(deferred, req)
+				continue
 			}
-			req.reply <- lookReply{snap: snap, loDir: loDir}
+			serveLook(req)
 		case req := <-moveCh:
 			if halting {
 				req.reply <- moveReply{halt: true}

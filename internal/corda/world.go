@@ -23,6 +23,13 @@ type World struct {
 	// multiplicityDetection controls whether snapshots carry the local
 	// multiplicity bit (§2.1: the capability needed for gathering).
 	multiplicityDetection bool
+
+	// cfg memoizes the current configuration between moves: every Look
+	// needs it, and between two moves an arbitrary number of Looks occur.
+	cfg      config.Config
+	cfgValid bool
+	// keyBuf is scratch for StateKey (reused; the key itself is fresh).
+	keyBuf []byte
 }
 
 // NewWorld places robots at the given nodes of an n-node ring (positions
@@ -89,7 +96,12 @@ func (w *World) Positions() []int {
 func (w *World) CountAt(u int) int { return w.cnt[w.r.Norm(u)] }
 
 // Config returns the current configuration (the set of occupied nodes).
+// It is memoized between moves, so consecutive Looks share one Config
+// value and its cached supermin/classification data.
 func (w *World) Config() config.Config {
+	if w.cfgValid {
+		return w.cfg
+	}
 	occupied := make([]int, 0, len(w.pos))
 	for u, c := range w.cnt {
 		if c > 0 {
@@ -101,6 +113,7 @@ func (w *World) Config() config.Config {
 	if err != nil {
 		panic(err)
 	}
+	w.cfg, w.cfgValid = c, true
 	return c
 }
 
@@ -147,6 +160,7 @@ func (w *World) MoveRobot(id int, d ring.Direction) (MoveEvent, error) {
 	w.cnt[from]--
 	w.cnt[to]++
 	w.pos[id] = to
+	w.cfgValid = false
 	return MoveEvent{Robot: id, From: from, To: to}, nil
 }
 
@@ -162,13 +176,28 @@ func (w *World) Clone() *World {
 		cnt:                   cnt,
 		exclusive:             w.exclusive,
 		multiplicityDetection: w.multiplicityDetection,
+		cfg:                   w.cfg,
+		cfgValid:              w.cfgValid,
 	}
 }
 
 // StateKey returns a compact identity-sensitive key of the world state,
-// used for cycle detection in perpetual-task verification.
+// used for cycle detection in perpetual-task verification. The key is a
+// binary string (four bytes per robot position, exact for any ring an
+// int can index), far cheaper to build and hash than the former
+// fmt.Sprint rendering.
 func (w *World) StateKey() string {
-	return fmt.Sprint(w.pos)
+	if cap(w.keyBuf) < 4*len(w.pos) {
+		w.keyBuf = make([]byte, 4*len(w.pos))
+	}
+	buf := w.keyBuf[:4*len(w.pos)]
+	for i, u := range w.pos {
+		buf[4*i] = byte(u)
+		buf[4*i+1] = byte(u >> 8)
+		buf[4*i+2] = byte(u >> 16)
+		buf[4*i+3] = byte(u >> 24)
+	}
+	return string(buf)
 }
 
 func (w *World) String() string {

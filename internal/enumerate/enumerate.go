@@ -24,7 +24,7 @@ func Classes(n, k int) ([]config.Config, error) {
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("enumerate: k=%d out of range for n=%d", k, n)
 	}
-	seen := make(map[string]bool)
+	seen := make(map[config.CanonKey]bool)
 	var out []config.Config
 	nodes := make([]int, k)
 	// Fix node 0 occupied: every class has a representative containing
@@ -33,7 +33,7 @@ func Classes(n, k int) ([]config.Config, error) {
 	rec = func(idx, next int) {
 		if idx == k {
 			c := config.MustNew(n, nodes...)
-			key := c.Canonical()
+			key := c.CanonKey()
 			if !seen[key] {
 				seen[key] = true
 				canon, err := config.FromIntervals(0, c.SuperminView())

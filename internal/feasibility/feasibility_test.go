@@ -3,6 +3,8 @@ package feasibility
 import (
 	"errors"
 	"testing"
+
+	"ringrobots/internal/config"
 )
 
 func TestTransitionGraphCountsMatchFigures(t *testing.T) {
@@ -78,26 +80,40 @@ func TestTransitionsAreMutual(t *testing.T) {
 	}
 }
 
+// legalAt computes the observation and legal-decision list of the robot
+// at node u in configuration c — the solver's own pipeline, exercised
+// end to end.
+func legalAt(t *testing.T, c config.Config, u int) (ObsKey, []Decision) {
+	t.Helper()
+	obs, _, mask := obsOf(c, u)
+	return obs, decisionsFromMask(mask)
+}
+
 func TestLegalDecisions(t *testing.T) {
-	// Symmetric observation with positive first interval: stay or either.
-	ds := legalDecisions("(2,0,0,2)|(2,0,0,2)")
+	// Node 0 of {0,3,5} on n=8 sees (2,0,0,2) both ways — symmetric with
+	// a positive first interval: stay or either.
+	sym := config.MustNew(8, 0, 3, 5)
+	obs, ds := legalAt(t, sym, 0)
+	if obs.Lo != obs.Hi {
+		t.Errorf("expected symmetric observation, got %v", obs)
+	}
 	if len(ds) != 2 || ds[0] != DStay || ds[1] != DEither {
 		t.Errorf("symmetric obs decisions = %v", ds)
 	}
-	// Symmetric with zero first interval (both neighbors occupied): stay only.
-	ds = legalDecisions("(0,4)|(0,4)")
-	if len(ds) != 1 || ds[0] != DStay {
+	// Middle node of a 3-run: both neighbors occupied, (0,…) both ways —
+	// stay only.
+	blocked := config.MustNew(7, 0, 1, 2)
+	if _, ds := legalAt(t, blocked, 1); len(ds) != 1 || ds[0] != DStay {
 		t.Errorf("blocked symmetric obs decisions = %v", ds)
 	}
-	// Asymmetric, both sides open.
-	ds = legalDecisions("(1,2,3)|(3,2,1)")
-	if len(ds) != 3 {
+	// Asymmetric with both sides open: all three of stay/toward-lo/toward-hi.
+	open := config.MustNew(9, 0, 2, 5)
+	if _, ds := legalAt(t, open, 0); len(ds) != 3 {
 		t.Errorf("open asymmetric obs decisions = %v", ds)
 	}
-	// Asymmetric with the Lo side blocked.
-	ds = legalDecisions("(0,1,5)|(1,5,0)")
-	want := []Decision{DStay, DTowardHi}
-	if len(ds) != 2 || ds[0] != want[0] || ds[1] != want[1] {
+	// Asymmetric with one side blocked: stay or the open direction only.
+	half := config.MustNew(9, 0, 1, 3)
+	if _, ds := legalAt(t, half, 1); len(ds) != 2 || ds[0] != DStay {
 		t.Errorf("half-blocked obs decisions = %v", ds)
 	}
 }
@@ -196,12 +212,18 @@ func TestDecisionStrings(t *testing.T) {
 	}
 }
 
-func TestParseViewKeyRoundTrip(t *testing.T) {
-	v := parseViewKey("(0,1,12,3)")
-	if len(v) != 4 || v[0] != 0 || v[1] != 1 || v[2] != 12 || v[3] != 3 {
-		t.Errorf("parsed %v", v)
+func TestObsKeyDistinguishesViews(t *testing.T) {
+	// Two different configurations must never share an observation key,
+	// and the Lo/Hi components must decode back to the actual views.
+	c := config.MustNew(8, 0, 2, 3, 6)
+	obs, loDir, _ := obsOf(c, 0)
+	lo := c.ViewFrom(0, loDir)
+	hi := c.ViewFrom(0, loDir.Opposite())
+	if !obs.Lo.View().Equal(lo) || !obs.Hi.View().Equal(hi) {
+		t.Errorf("obs %v does not decode to views %v / %v", obs, lo, hi)
 	}
-	if len(parseViewKey("()")) != 0 {
-		t.Error("empty view key should parse to empty view")
+	other, _, _ := obsOf(config.MustNew(8, 0, 2, 4, 6), 0)
+	if obs == other {
+		t.Error("distinct observations share a key")
 	}
 }

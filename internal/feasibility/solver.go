@@ -37,7 +37,7 @@ package feasibility
 
 import (
 	"fmt"
-	"strings"
+	"math/bits"
 
 	"ringrobots/internal/config"
 	"ringrobots/internal/ring"
@@ -73,8 +73,29 @@ func (d Decision) String() string {
 	return fmt.Sprintf("Decision(%d)", int(d))
 }
 
-// Table is a partial oblivious algorithm: observation key → decision.
-type Table map[string]Decision
+// ObsKey identifies an observation: the unordered pair of directional
+// views a robot perceives, as compact comparable keys. It replaces the
+// former "(lo)|(hi)" string keys: hashing two words is far cheaper than
+// building and hashing a formatted string in every table lookup.
+type ObsKey struct {
+	Lo, Hi config.CanonKey
+}
+
+// Less orders observations deterministically (for reproducible
+// branching order in the table search).
+func (o ObsKey) Less(p ObsKey) bool {
+	if o.Lo != p.Lo {
+		return o.Lo.Less(p.Lo)
+	}
+	return o.Hi.Less(p.Hi)
+}
+
+func (o ObsKey) String() string {
+	return o.Lo.String() + "|" + o.Hi.String()
+}
+
+// Table is a partial oblivious algorithm: observation → decision.
+type Table map[ObsKey]Decision
 
 // Clone copies the table.
 func (t Table) Clone() Table {
@@ -134,17 +155,46 @@ func (s state) config() config.Config {
 	return config.MustNew(s.n, nodes...)
 }
 
-// obsKey builds the observation of the robot at node u: the unordered
-// pair of its directional views. The second return value is the direction
-// realizing the smaller view.
-func obsKey(c config.Config, u int) (string, ring.Direction) {
+// obsOf builds the observation of the robot at node u: the unordered
+// pair of its directional views, the direction realizing the smaller
+// view, and the bitmask of the algorithm player's legal decisions for
+// it (computed here, while the actual views are at hand, so that no
+// later stage ever needs to parse a key back into views).
+func obsOf(c config.Config, u int) (ObsKey, ring.Direction, uint8) {
 	cw := c.ViewFrom(u, ring.CW)
 	ccw := c.ViewFrom(u, ring.CCW)
 	lo, hi, loDir := cw, ccw, ring.CW
 	if ccw.Less(cw) {
 		lo, hi, loDir = ccw, cw, ring.CCW
 	}
-	return lo.Key() + "|" + hi.Key(), loDir
+	// Moves onto occupied nodes are omitted: executing one is an
+	// immediate collision, so they are strictly dominated.
+	mask := uint8(1) << uint(DStay)
+	if lo.Equal(hi) {
+		if lo[0] > 0 {
+			mask |= 1 << uint(DEither)
+		}
+	} else {
+		if lo[0] > 0 {
+			mask |= 1 << uint(DTowardLo)
+		}
+		if hi[0] > 0 {
+			mask |= 1 << uint(DTowardHi)
+		}
+	}
+	return ObsKey{Lo: config.KeyOf(lo), Hi: config.KeyOf(hi)}, loDir, mask
+}
+
+// decisionsFromMask expands a legal-decision bitmask in the fixed
+// enumeration order (Stay, TowardLo, TowardHi, Either).
+func decisionsFromMask(mask uint8) []Decision {
+	out := make([]Decision, 0, bits.OnesCount8(mask))
+	for d := DStay; d <= DEither; d++ {
+		if mask&(1<<uint(d)) != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // movePair records one executed traversal.
@@ -197,8 +247,9 @@ type Solver struct {
 
 type obsInfo struct {
 	node  int
-	obs   string
+	obs   ObsKey
 	loDir ring.Direction
+	legal uint8 // bitmask of legal decisions for this observation
 }
 
 // observations returns the cached observation list of a configuration.
@@ -215,8 +266,8 @@ func (s *Solver) observations(st state) []obsInfo {
 		if !st.occupiedAt(u) {
 			continue
 		}
-		obs, loDir := obsKey(c, u)
-		out = append(out, obsInfo{node: u, obs: obs, loDir: loDir})
+		obs, loDir, legal := obsOf(c, u)
+		out = append(out, obsInfo{node: u, obs: obs, loDir: loDir, legal: legal})
 	}
 	s.obsCache[st.occupied] = out
 	return out
@@ -278,14 +329,14 @@ func (s *Solver) Solve() (Result, error) {
 // completion of the partial table.
 func (s *Solver) forAllTables(table Table, res *Result) (bool, error) {
 	res.TablesExplored++
-	win, needed, err := s.analyze(table)
+	win, needed, legal, err := s.analyze(table)
 	if err != nil {
 		return false, err
 	}
 	if win {
 		return true, nil
 	}
-	if needed == "" {
+	if legal == 0 {
 		// Table fully determines all reachable behavior and the adversary
 		// found no win: a surviving candidate algorithm.
 		if res.SurvivorTable == nil {
@@ -293,7 +344,7 @@ func (s *Solver) forAllTables(table Table, res *Result) (bool, error) {
 		}
 		return false, nil
 	}
-	for _, d := range legalDecisions(needed) {
+	for _, d := range decisionsFromMask(legal) {
 		table[needed] = d
 		ok, err := s.forAllTables(table, res)
 		delete(table, needed)
@@ -307,50 +358,15 @@ func (s *Solver) forAllTables(table Table, res *Result) (bool, error) {
 	return true, nil
 }
 
-// legalDecisions lists the algorithm player's options for an observation.
-// Moves onto occupied nodes are omitted: executing one is an immediate
-// collision, so they are strictly dominated.
-func legalDecisions(obs string) []Decision {
-	parts := strings.SplitN(obs, "|", 2)
-	lo := parseViewKey(parts[0])
-	hi := parseViewKey(parts[1])
-	ds := []Decision{DStay}
-	if lo.Equal(hi) {
-		if lo[0] > 0 {
-			ds = append(ds, DEither)
-		}
-		return ds
-	}
-	if lo[0] > 0 {
-		ds = append(ds, DTowardLo)
-	}
-	if hi[0] > 0 {
-		ds = append(ds, DTowardHi)
-	}
-	return ds
-}
-
-func parseViewKey(k string) config.View {
-	k = strings.Trim(k, "()")
-	if k == "" {
-		return config.View{}
-	}
-	parts := strings.Split(k, ",")
-	v := make(config.View, len(parts))
-	for i, p := range parts {
-		fmt.Sscanf(p, "%d", &v[i])
-	}
-	return v
-}
-
 // nodeInfo caches per-state expansion results.
 type nodeInfo struct {
 	edges []edge
 	// stayable[u] is true when the robot at node u has a known Stay
 	// decision in this state (used by the fairness check).
 	stayable map[int]bool
-	// unknown lists observations in this state missing from the table.
-	unknown []string
+	// unknown lists observations in this state missing from the table,
+	// with their legal-decision masks.
+	unknown []obsInfo
 	// allStayDeadlock marks states where no robot has a pending move and
 	// every robot's (known) decision is Stay with no unknowns.
 	allStayDeadlock bool
@@ -358,9 +374,10 @@ type nodeInfo struct {
 
 // analyze explores the adversary-reachable state graph under a partial
 // table. It returns win=true when a collision or a fair starvation lasso
-// is forced using only defined entries, or the first undefined
-// observation encountered otherwise.
-func (s *Solver) analyze(table Table) (win bool, needed string, err error) {
+// is forced using only defined entries; otherwise it reports an
+// undefined observation (legal != 0) for the table search to branch on,
+// or legal == 0 when the table already determines all behavior.
+func (s *Solver) analyze(table Table) (win bool, needed ObsKey, legal uint8, err error) {
 	starts := s.initialStates()
 	seen := make(map[uint64]*contaminationSim) // stem contamination at discovery
 	info := make(map[uint64]*nodeInfo)
@@ -372,27 +389,27 @@ func (s *Solver) analyze(table Table) (win bool, needed string, err error) {
 			queue = append(queue, st)
 		}
 	}
-	neededSet := make(map[string]bool)
+	neededSet := make(map[ObsKey]uint8)
 	for len(queue) > 0 {
 		st := queue[0]
 		queue = queue[1:]
 		order = append(order, st)
 		s.expansions++
 		if s.expansions > s.MaxExpansions {
-			return false, "", ErrBudget
+			return false, ObsKey{}, 0, ErrBudget
 		}
-		ni, collision, _ := s.expand(st, table)
+		ni, collision := s.expand(st, table)
 		if collision {
-			return true, "", nil
+			return true, ObsKey{}, 0, nil
 		}
-		for _, obs := range ni.unknown {
-			neededSet[obs] = true
+		for _, oi := range ni.unknown {
+			neededSet[oi.obs] = oi.legal
 		}
 		info[st.key()] = ni
 		if ni.allStayDeadlock && !seen[st.key()].allClear() {
 			// Nothing ever moves again and the ring is not clear: a fair
 			// (all robots cycle with Stay) starvation of the task.
-			return true, "", nil
+			return true, ObsKey{}, 0, nil
 		}
 		for _, e := range ni.edges {
 			if e.stay {
@@ -418,25 +435,27 @@ func (s *Solver) analyze(table Table) (win bool, needed string, err error) {
 			}
 			bad, err := s.findBadCycle(st, seen[st.key()], info, sccOf, lengthCap)
 			if err != nil {
-				return false, "", err
+				return false, ObsKey{}, 0, err
 			}
 			if bad {
-				return true, "", nil
+				return true, ObsKey{}, 0, nil
 			}
 		}
 	}
 	// Branch on the unresolved observation with the fewest legal
 	// decisions: smallest fan-out first keeps the table tree narrow.
-	best := ""
+	var best ObsKey
+	var bestMask uint8
 	bestOptions := 1 << 30
-	for obs := range neededSet {
-		opts := len(legalDecisions(obs))
-		if opts < bestOptions || (opts == bestOptions && obs < best) {
+	for obs, mask := range neededSet {
+		opts := bits.OnesCount8(mask)
+		if opts < bestOptions || (opts == bestOptions && obs.Less(best)) {
 			best = obs
+			bestMask = mask
 			bestOptions = opts
 		}
 	}
-	return false, best, nil
+	return false, best, bestMask, nil
 }
 
 // sccs labels every state with its strongly-connected-component id over
@@ -538,14 +557,14 @@ func (s *Solver) sccs(order []state, info map[uint64]*nodeInfo) map[uint64]int {
 // initialStates returns one representative per equivalence class of
 // exclusive configurations (the adversary picks the worst start).
 func (s *Solver) initialStates() []state {
-	seen := make(map[string]bool)
+	seen := make(map[config.CanonKey]bool)
 	var out []state
 	nodes := make([]int, s.K)
 	var rec func(idx, next int)
 	rec = func(idx, next int) {
 		if idx == s.K {
 			c := config.MustNew(s.N, nodes...)
-			key := c.Canonical()
+			key := c.CanonKey()
 			if seen[key] {
 				return
 			}
@@ -568,7 +587,7 @@ func (s *Solver) initialStates() []state {
 }
 
 // expand lists the adversary's options at a state.
-func (s *Solver) expand(st state, table Table) (ni *nodeInfo, collision bool, needed string) {
+func (s *Solver) expand(st state, table Table) (ni *nodeInfo, collision bool) {
 	r := ring.New(s.N)
 	ni = &nodeInfo{stayable: make(map[int]bool)}
 	unknowns := false
@@ -588,7 +607,7 @@ func (s *Solver) expand(st state, table Table) (ni *nodeInfo, collision bool, ne
 		movers = true
 		to := r.Step(u, dir)
 		if st.occupiedAt(to) {
-			return nil, true, ""
+			return nil, true
 		}
 		next := st.clearPending(u)
 		next.occupied &^= 1 << uint(u)
@@ -598,7 +617,7 @@ func (s *Solver) expand(st state, table Table) (ni *nodeInfo, collision bool, ne
 
 	// Fused and pending Look+Compute actions, plus grouping by
 	// observation for simultaneous activation of identical robots.
-	groups := make(map[string][]obsInfo)
+	groups := make(map[ObsKey][]obsInfo)
 	for _, oi := range s.observations(st) {
 		if _, hasPending := st.pendingAt(oi.node); hasPending {
 			continue
@@ -606,10 +625,7 @@ func (s *Solver) expand(st state, table Table) (ni *nodeInfo, collision bool, ne
 		d, known := table[oi.obs]
 		if !known {
 			unknowns = true
-			ni.unknown = append(ni.unknown, oi.obs)
-			if needed == "" {
-				needed = oi.obs
-			}
+			ni.unknown = append(ni.unknown, oi)
 			continue
 		}
 		if d == DStay {
@@ -622,7 +638,7 @@ func (s *Solver) expand(st state, table Table) (ni *nodeInfo, collision bool, ne
 		// Fused single activation: Look+Compute+Move atomically.
 		for _, dir := range s.decisionDirs(d, oi.loDir) {
 			if e, coll := s.applyGroupMove(st, []obsInfo{oi}, []ring.Direction{dir}, r); coll {
-				return nil, true, ""
+				return nil, true
 			} else if e != nil {
 				ni.edges = append(ni.edges, *e)
 			}
@@ -655,12 +671,12 @@ func (s *Solver) expand(st state, table Table) (ni *nodeInfo, collision bool, ne
 			return true
 		})
 		if collision {
-			return nil, true, ""
+			return nil, true
 		}
 	}
 
 	ni.allStayDeadlock = !unknowns && !movers
-	return ni, false, needed
+	return ni, false
 }
 
 // decisionDirs resolves a moving decision into candidate directions.
@@ -822,10 +838,10 @@ func (s *Solver) cycleIsFairAndBad(st state, cycle []edge, stemCont *contaminati
 	// contamination state at the loop head repeats; if no pass in the
 	// repeating regime touches all-clear, the adversary wins. ---
 	cont := stemCont.clone()
-	seenMasks := make(map[string]int)
+	seenMasks := make(map[uint32]int)
 	var passClear []bool
 	for iter := 0; iter <= 1<<uint(s.N); iter++ {
-		maskKey := cont.maskKey()
+		maskKey := cont.maskBits()
 		if first, ok := seenMasks[maskKey]; ok {
 			// Passes first..iter−1 repeat forever.
 			for i := first; i < iter; i++ {
@@ -927,14 +943,14 @@ func (c *contaminationSim) allClear() bool {
 	return true
 }
 
-func (c *contaminationSim) maskKey() string {
-	var b strings.Builder
-	for _, cl := range c.clear {
+// maskBits packs the per-edge clear flags into a bitmask (n ≤ 16, so a
+// uint32 always suffices).
+func (c *contaminationSim) maskBits() uint32 {
+	var m uint32
+	for e, cl := range c.clear {
 		if cl {
-			b.WriteByte('1')
-		} else {
-			b.WriteByte('0')
+			m |= 1 << uint(e)
 		}
 	}
-	return b.String()
+	return m
 }

@@ -29,9 +29,9 @@ func NewTransitionGraph(n, k int) (*TransitionGraph, error) {
 	if err != nil {
 		return nil, err
 	}
-	index := make(map[string]int, len(classes))
+	index := make(map[config.CanonKey]int, len(classes))
 	for i, c := range classes {
-		index[c.Canonical()] = i
+		index[c.CanonKey()] = i
 	}
 	g := &TransitionGraph{N: n, K: k, Classes: classes, Arcs: make([][]int, len(classes))}
 	for i, c := range classes {
@@ -46,9 +46,9 @@ func NewTransitionGraph(n, k int) (*TransitionGraph, error) {
 				if err != nil {
 					return nil, err
 				}
-				j, ok := index[next.Canonical()]
+				j, ok := index[next.CanonKey()]
 				if !ok {
-					return nil, fmt.Errorf("feasibility: successor class %s missing", next.Canonical())
+					return nil, fmt.Errorf("feasibility: successor class %v missing", next.SuperminView())
 				}
 				seen[j] = true
 			}

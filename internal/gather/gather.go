@@ -77,8 +77,10 @@ func (Gathering) Compute(s corda.Snapshot) corda.Decision {
 			}
 			return corda.Stay
 		}
-		// Phase 1: not yet C*-type — run Align.
-		return align.DecideFromSnapshot(s)
+		// Phase 1: not yet C*-type — run Align on the reconstruction we
+		// already built (its supermin and classification are memoized, so
+		// the C*-type test above costs nothing extra).
+		return align.DecideReconstructed(c)
 	}
 }
 

@@ -166,7 +166,7 @@ func (RingClearing) Compute(s corda.Snapshot) corda.Decision {
 		return corda.Stay
 	}
 	if ClassifyA(c) == NotInA {
-		return align.DecideFromSnapshot(s)
+		return align.DecideReconstructed(c)
 	}
 	// Phase 2: evaluate the conditions of Fig. 11 on both views. A match
 	// on a view W means: "move towards q_{k−1}" = against W's reading

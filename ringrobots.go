@@ -54,6 +54,12 @@ type Config = config.Config
 // View is a cyclic sequence of interval lengths as perceived by a robot.
 type View = config.View
 
+// CanonKey is the compact comparable canonical identity of a
+// configuration class (equal keys ⇔ equivalent up to rotation and
+// reflection). Use Config.CanonKey() to obtain one; it replaces string
+// canonical keys in deduplication maps.
+type CanonKey = config.CanonKey
+
 // World is the simulator's ground truth of robot positions.
 type World = corda.World
 
