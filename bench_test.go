@@ -180,6 +180,52 @@ func BenchmarkImpossibility(b *testing.B) {
 	}
 }
 
+// BenchmarkFeasibilitySolve measures full impossibility solves on the
+// Theorem 5 cases, sequential (workers=1, isolating the single-thread
+// interning win) and parallel (workers=GOMAXPROCS, the sharded table
+// search).
+func BenchmarkFeasibilitySolve(b *testing.B) {
+	for _, tc := range []struct {
+		n, k, workers int
+	}{
+		{7, 4, 1}, {7, 4, 0}, {8, 5, 1}, {8, 5, 0},
+	} {
+		name := fmt.Sprintf("n=%d/k=%d/workers=%d", tc.n, tc.k, tc.workers)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := feasibility.NewSolver(tc.n, tc.k)
+				s.Workers = tc.workers
+				res, err := s.Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Impossible {
+					b.Fatal("expected impossibility")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFeasibilityThroughput measures state-expansion throughput on
+// the deep (5,9) case with a fixed 2M-expansion budget per op, the
+// stable proxy for the full multi-second solve: every op performs the
+// same amount of graph work regardless of verdict.
+func BenchmarkFeasibilityThroughput(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("n=9/k=5/budget=2M/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := feasibility.NewSolver(9, 5)
+				s.Workers = workers
+				s.MaxExpansions = 2_000_000
+				if _, err := s.Solve(); err != nil && err != feasibility.ErrBudget {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- E5: Ring Clearing ------------------------------------------------------
 
 func BenchmarkRingClearingCycle(b *testing.B) {

@@ -159,6 +159,45 @@ func families() []family {
 		}
 	})
 
+	// Full solver runs, sequential vs parallel (the sharded table search;
+	// on a single-vCPU runner both land in the same ballpark).
+	for _, tc := range []struct {
+		n, k, workers int
+	}{
+		{7, 4, 1}, {7, 4, 0}, {8, 5, 1}, {8, 5, 0},
+	} {
+		tc := tc
+		add(fmt.Sprintf("FeasibilitySolve/n=%d/k=%d/workers=%d", tc.n, tc.k, tc.workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := feasibility.NewSolver(tc.n, tc.k)
+				s.Workers = tc.workers
+				res, err := s.Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Impossible {
+					b.Fatal("expected impossibility")
+				}
+			}
+		})
+	}
+
+	// State-expansion throughput on the deep (5,9) case: fixed
+	// 2M-expansion budget per op, so every op does identical graph work.
+	for _, workers := range []int{1, 0} {
+		workers := workers
+		add(fmt.Sprintf("FeasibilityThroughput/n=9/k=5/budget=2M/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := feasibility.NewSolver(9, 5)
+				s.Workers = workers
+				s.MaxExpansions = 2_000_000
+				if _, err := s.Solve(); err != nil && err != feasibility.ErrBudget {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
 	// Full gathering run (Align phase + contraction + final walk).
 	gStart := rigid(5, 24, 8)
 	add("Gathering/n=24/k=8", func(b *testing.B) {

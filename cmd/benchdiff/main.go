@@ -1,0 +1,109 @@
+// Command benchdiff compares two BENCH_<date>.json reports produced by
+// cmd/bench and prints per-benchmark ns/op and allocs/op deltas, so the
+// performance trajectory across PRs is a one-command diff:
+//
+//	go run ./cmd/benchdiff BENCH_2026-07-29.json BENCH_2026-07-30.json
+//
+// Benchmarks present in only one report are listed as added/removed.
+// The exit status is the regression gate: benchdiff exits nonzero when
+// any benchmark common to both reports slowed down by more than
+// -threshold (default 2×) in ns/op, which CI runs as a soft gate
+// (reported, not blocking — machine noise on shared runners can exceed
+// 2× without a real regression).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func load(path string) (report, error) {
+	var rep report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 2.0, "fail on ns/op regressions beyond this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldBy := make(map[string]result, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+
+	fmt.Printf("benchdiff %s (%s) -> %s (%s)\n", flag.Arg(0), oldRep.Date, flag.Arg(1), newRep.Date)
+	fmt.Printf("%-42s %14s %14s %8s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "old all/op", "new all/op")
+	regressions := 0
+	for _, nw := range newRep.Benchmarks {
+		old, ok := oldBy[nw.Name]
+		if !ok {
+			fmt.Printf("%-42s %14s %14.1f %8s %9s %9d  (added)\n", nw.Name, "-", nw.NsPerOp, "-", "-", nw.AllocsPerOp)
+			continue
+		}
+		delete(oldBy, nw.Name)
+		ratio := 0.0
+		if old.NsPerOp > 0 {
+			ratio = nw.NsPerOp / old.NsPerOp
+		}
+		flagStr := ""
+		if ratio > *threshold {
+			flagStr = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-42s %14.1f %14.1f %7.2fx %9d %9d%s\n",
+			nw.Name, old.NsPerOp, nw.NsPerOp, ratio, old.AllocsPerOp, nw.AllocsPerOp, flagStr)
+	}
+	removed := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		old := oldBy[name]
+		fmt.Printf("%-42s %14.1f %14s %8s %9d %9s  (removed)\n", name, old.NsPerOp, "-", "-", old.AllocsPerOp, "-")
+	}
+	if regressions > 0 {
+		fmt.Printf("%d benchmark(s) regressed beyond %.2fx\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("no regressions beyond threshold")
+}

@@ -138,13 +138,26 @@ func (c Config) intervals() View { return c.canon().g }
 // ViewFrom returns the view of the occupied node u read in direction d.
 // It panics if u is not occupied.
 func (c Config) ViewFrom(u int, d ring.Direction) View {
+	return c.ViewFromInto(u, d, nil)
+}
+
+// ViewFromInto is ViewFrom writing into buf, which is grown as needed;
+// the returned view aliases buf's backing array when its capacity
+// suffices. It lets per-robot Look paths reuse one buffer per cycle
+// instead of allocating a fresh view every time.
+func (c Config) ViewFromInto(u int, d ring.Direction, buf View) View {
 	i := c.nodeIndex(u)
 	if i < 0 {
 		return panicUnoccupied(u)
 	}
 	g := c.intervals()
 	k := len(g)
-	v := make(View, k)
+	var v View
+	if cap(buf) >= k {
+		v = buf[:k]
+	} else {
+		v = make(View, k)
+	}
 	if d == ring.CW {
 		for j := 0; j < k; j++ {
 			v[j] = g[(i+j)%k]

@@ -30,6 +30,16 @@ type World struct {
 	cfgValid bool
 	// keyBuf is scratch for StateKey (reused; the key itself is fresh).
 	keyBuf []byte
+	// snapBufs is the per-robot view-buffer pool behind Snapshot:
+	// snapBufs[id] holds the two view buffers robot id's snapshots alias,
+	// so steady-state Looks allocate nothing. See Snapshot for the
+	// ownership rule.
+	snapBufs []snapBuf
+}
+
+// snapBuf is one robot's pair of reusable view buffers.
+type snapBuf struct {
+	lo, hi config.View
 }
 
 // NewWorld places robots at the given nodes of an n-node ring (positions
@@ -132,11 +142,25 @@ func (w *World) Gathered() bool {
 // lexicographic order plus (if enabled) the local multiplicity bit. The
 // second return value is the simulator direction realizing the Lo view,
 // needed to apply the robot's decision; it never reaches the algorithm.
+//
+// Ownership rule: the returned snapshot's views alias robot id's slot in
+// a per-robot buffer pool and stay valid only until the next
+// Snapshot(id) call for the SAME id. That is exactly the lifetime of one
+// Look-Compute step, so the concurrent Engine — which hands each robot
+// goroutine only its own snapshots, and never two at once — needs no
+// copies: robot id cannot request another Look before finishing the
+// Compute on its previous one. Callers that retain a snapshot across
+// cycles (or share it between robots) must Clone it.
 func (w *World) Snapshot(id int) (Snapshot, ring.Direction) {
 	c := w.Config()
 	u := w.pos[id]
-	cw := c.ViewFrom(u, ring.CW)
-	ccw := c.ViewFrom(u, ring.CCW)
+	if w.snapBufs == nil {
+		w.snapBufs = make([]snapBuf, len(w.pos))
+	}
+	buf := &w.snapBufs[id]
+	cw := c.ViewFromInto(u, ring.CW, buf.lo)
+	ccw := c.ViewFromInto(u, ring.CCW, buf.hi)
+	buf.lo, buf.hi = cw, ccw
 	lo, loDir := cw, ring.CW
 	hi := ccw
 	if ccw.Less(cw) {
@@ -185,7 +209,9 @@ func (w *World) Clone() *World {
 // used for cycle detection in perpetual-task verification. The key is a
 // binary string (four bytes per robot position, exact for any ring an
 // int can index), far cheaper to build and hash than the former
-// fmt.Sprint rendering.
+// fmt.Sprint rendering. Unlike the feasibility solver's packed game
+// state (whose bitmask words cap it at n ≤ 32), StateKey scales with
+// the ring: verification worlds are not width-limited.
 func (w *World) StateKey() string {
 	if cap(w.keyBuf) < 4*len(w.pos) {
 		w.keyBuf = make([]byte, 4*len(w.pos))

@@ -1,0 +1,253 @@
+package feasibility
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the machinery of the parallel table search: the
+// copy-on-write decision-table chains handed to workers, the shared
+// work queue of unexplored table branches, the sharded cross-branch
+// observation cache, and the per-tier shared search context.
+
+// --- copy-on-write tables ----------------------------------------------------
+
+// tableNode is one binding of a partial decision table, represented as a
+// persistent chain: a branch's table is the path from its node to the
+// root. Sibling branches share their common prefix, so enqueueing a
+// branch costs one small allocation instead of a map clone; workers
+// materialize the chain into a scratch map once per analyze.
+type tableNode struct {
+	parent *tableNode // nil only for the root (empty table)
+	obs    ObsKey
+	d      Decision
+}
+
+// materializeInto rebuilds the chain as a lookup map (cleared first).
+func (nd *tableNode) materializeInto(t Table) {
+	clear(t)
+	for ; nd != nil && nd.parent != nil; nd = nd.parent {
+		t[nd.obs] = nd.d
+	}
+}
+
+// toTable returns the chain as a fresh Table (for Result.SurvivorTable).
+func (nd *tableNode) toTable() Table {
+	t := make(Table)
+	nd.materializeInto(t)
+	return t
+}
+
+// --- work queue --------------------------------------------------------------
+
+// workQueue is a shared LIFO of unexplored table branches. LIFO order
+// makes a single worker reproduce the sequential depth-first search
+// exactly; with several workers the tree is explored in parallel and
+// siblings stolen from the top act as the coarsest-grained work items.
+// pending counts branches pushed but not yet fully processed, so workers
+// block (rather than exit) while a peer that might push children is
+// still running.
+type workQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []*tableNode
+	pending int
+	stopped bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) push(nd *tableNode) {
+	q.mu.Lock()
+	q.items = append(q.items, nd)
+	q.pending++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a branch is available, all work has drained, or the
+// search was stopped; it returns nil in the latter two cases.
+func (q *workQueue) pop() *tableNode {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.stopped {
+			return nil
+		}
+		if n := len(q.items); n > 0 {
+			nd := q.items[n-1]
+			q.items[n-1] = nil
+			q.items = q.items[:n-1]
+			return nd
+		}
+		if q.pending == 0 {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// finish marks one popped branch fully processed (children, if any,
+// were already pushed).
+func (q *workQueue) finish() {
+	q.mu.Lock()
+	q.pending--
+	done := q.pending == 0
+	q.mu.Unlock()
+	if done {
+		q.cond.Broadcast()
+	}
+}
+
+// stop aborts the search: pending blockers wake and drain.
+func (q *workQueue) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// --- sharded observation cache ----------------------------------------------
+
+// obsSet is everything expansion needs to know about one configuration
+// (occupied mask): the per-robot observations and the same-observation
+// groups (size ≥ 2) eligible for simultaneous activation. It is computed
+// once per mask and shared read-only across branches and workers.
+type obsSet struct {
+	infos []obsInfo
+	// groups lists indices into infos of robots sharing one observation,
+	// one slice per observation with at least two robots. Pending-ness is
+	// table- and tier-independent here; expand filters per state.
+	groups [][]int32
+}
+
+const obsCacheShards = 64
+
+// obsCache memoizes obsSet per occupied mask across all table branches
+// of a Solve, sharded to keep contention negligible under the worker
+// pool. Duplicated computation on a racing miss is benign (the value is
+// deterministic).
+type obsCache struct {
+	n      int
+	shards [obsCacheShards]struct {
+		mu sync.RWMutex
+		m  map[uint64]*obsSet
+	}
+}
+
+func newObsCache(n int) *obsCache {
+	c := &obsCache{n: n}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*obsSet)
+	}
+	return c
+}
+
+func obsShardOf(occ uint64) uint64 {
+	return (occ * 0x9e3779b97f4a7c15) >> (64 - 6)
+}
+
+func (c *obsCache) get(occ uint64) *obsSet {
+	sh := &c.shards[obsShardOf(occ)]
+	sh.mu.RLock()
+	os := sh.m[occ]
+	sh.mu.RUnlock()
+	if os != nil {
+		return os
+	}
+	os = buildObsSet(occ, c.n)
+	sh.mu.Lock()
+	if prev := sh.m[occ]; prev != nil {
+		os = prev
+	} else {
+		sh.m[occ] = os
+	}
+	sh.mu.Unlock()
+	return os
+}
+
+func buildObsSet(occ uint64, n int) *obsSet {
+	st := state{occupied: occ}
+	cfg := st.config(n)
+	os := &obsSet{infos: make([]obsInfo, 0, bits.OnesCount64(occ))}
+	for u := 0; u < n; u++ {
+		if !st.occupiedAt(u) {
+			continue
+		}
+		obs, loDir, legal := obsOf(cfg, u)
+		os.infos = append(os.infos, obsInfo{node: u, obs: obs, loDir: loDir, legal: legal})
+	}
+	for i := range os.infos {
+		grouped := false
+		for _, g := range os.groups {
+			if os.infos[g[0]].obs == os.infos[i].obs {
+				grouped = true
+				break
+			}
+		}
+		if grouped {
+			continue
+		}
+		var g []int32
+		for j := i + 1; j < len(os.infos); j++ {
+			if os.infos[j].obs == os.infos[i].obs {
+				g = append(g, int32(j))
+			}
+		}
+		if g != nil {
+			os.groups = append(os.groups, append([]int32{int32(i)}, g...))
+		}
+	}
+	return os
+}
+
+// --- per-tier shared search state -------------------------------------------
+
+// tierSearch is the state shared by all workers of one adversary tier:
+// solver parameters, the cumulative expansion budget, the branch
+// counter, the fail-fast stop flag, and the first survivor or error.
+type tierSearch struct {
+	n, k          int
+	pendingLimit  int
+	maxExpansions int64
+	maxCycleLen   int
+	starts        []state
+	obs           *obsCache
+	queue         *workQueue
+
+	expansions atomic.Int64
+	tables     atomic.Int64
+	stop       atomic.Bool
+
+	mu       sync.Mutex
+	survivor Table
+	err      error
+}
+
+// fail records the first error and cancels the search.
+func (ts *tierSearch) fail(err error) {
+	ts.mu.Lock()
+	if ts.err == nil {
+		ts.err = err
+	}
+	ts.mu.Unlock()
+	ts.stop.Store(true)
+	ts.queue.stop()
+}
+
+// foundSurvivor records a surviving table and cancels the search: one
+// table the adversary cannot beat refutes impossibility at this tier.
+func (ts *tierSearch) foundSurvivor(t Table) {
+	ts.mu.Lock()
+	if ts.survivor == nil {
+		ts.survivor = t
+	}
+	ts.mu.Unlock()
+	ts.stop.Store(true)
+	ts.queue.stop()
+}

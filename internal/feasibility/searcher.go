@@ -1,0 +1,716 @@
+package feasibility
+
+import (
+	"errors"
+	"math/bits"
+
+	"ringrobots/internal/ring"
+)
+
+// errStopped aborts a worker's analyze when another worker already
+// settled the tier (survivor found or error recorded). Never escapes the
+// package.
+var errStopped = errors.New("feasibility: search cancelled")
+
+// expansionBatch is how many expansions a worker accumulates locally
+// before flushing to the shared budget counter and re-checking the
+// budget and the stop flag.
+const expansionBatch = 1024
+
+// edge is one adversary scheduling step in the state graph: a single
+// robot's Look (creating a pending move or completing a Stay cycle), a
+// pending execution, a fused Look+Move, or the simultaneous fused
+// activation of a group of robots sharing one observation. Everything is
+// a dense id or a node bitmask — an edge owns no heap memory.
+type edge struct {
+	to int32 // dense state id
+	// stay marks a Look that resulted in a Stay decision (a complete
+	// robot cycle without movement). Stay edges are self-loops; they are
+	// excluded from cycle search and re-inserted by the fairness check.
+	stay bool
+	// acts is the bitmask of nodes whose robots were activated or moved.
+	acts uint64
+	// movesCW/movesCCW are the origin bitmasks of traversals executed by
+	// this step, split by direction (both zero for pure Looks and Stays).
+	movesCW  uint64
+	movesCCW uint64
+}
+
+// nodeInfo caches per-state expansion results. Edges live in the
+// searcher's shared arena; nodeInfo only holds the window.
+type nodeInfo struct {
+	edgeOff int32
+	edgeLen int32
+	// stayable is the bitmask of nodes whose robots have a known Stay
+	// decision in this state (used by the fairness check).
+	stayable uint64
+	// allStayDeadlock marks states where no robot has a pending move and
+	// every robot's (known) decision is Stay with no unknowns.
+	allStayDeadlock bool
+}
+
+// tarFrame is one frame of the iterative Tarjan stack.
+type tarFrame struct {
+	id   int32
+	edge int32
+}
+
+// searcher is one worker's search engine: the materialized table of the
+// branch under analysis, the state-interning tables (state → dense id
+// with slice-backed adjacency, replacing the former per-branch
+// map[uint64] trio), and every scratch buffer, all reused across the
+// branches this worker processes.
+type searcher struct {
+	ts           *tierSearch
+	n            int
+	pendingLimit int
+
+	// table is the current branch's decision table, rebuilt from the
+	// copy-on-write chain once per analyze.
+	table Table
+
+	// State interning: states[id], cont[id] (stem contamination clear
+	// mask at discovery) and info[id] are parallel; edges is the shared
+	// adjacency arena indexed by nodeInfo windows.
+	ids    map[state]int32
+	states []state
+	cont   []uint64
+	info   []nodeInfo
+	edges  []edge
+
+	// needed collects observations missing from the table, with their
+	// legal-decision masks.
+	needed map[ObsKey]uint8
+
+	// Tarjan scratch.
+	scc      []int32
+	compSize []int32
+	tarIndex []int32
+	tarLow   []int32
+	onStack  []bool
+	tarStack []int32
+	frames   []tarFrame
+
+	// Cycle-hunt scratch. The visit marks are epoch-stamped so findBadCycle
+	// never has to clear the slice; the epoch is 64-bit because one searcher
+	// lives for a whole tier and deep budgets (T5LONG runs 2G expansions)
+	// could wrap a 32-bit counter, aliasing stale marks into fresh searches.
+	visited    []uint64
+	visitEpoch uint64
+	path       []edge
+	cycle      []edge
+	cycleIDs   []int32
+	maskSeen   []uint64
+	passClear  []bool
+
+	// Group-activation scratch.
+	groupBuf []obsInfo
+	dirs     []ring.Direction
+
+	// local is the expansion count not yet flushed to the shared budget.
+	local int64
+}
+
+func newSearcher(ts *tierSearch) *searcher {
+	return &searcher{
+		ts:           ts,
+		n:            ts.n,
+		pendingLimit: ts.pendingLimit,
+		table:        make(Table, 64),
+		ids:          make(map[state]int32, 1<<10),
+		needed:       make(map[ObsKey]uint8, 64),
+		dirs:         make([]ring.Direction, ts.k),
+	}
+}
+
+// process analyzes one table branch: a win closes the subtree, a
+// completed table is a survivor (cancelling the tier), and an undefined
+// observation fans out child branches onto the queue. Children are
+// pushed in descending decision order so the LIFO queue pops them in the
+// fixed enumeration order — with one worker this reproduces the
+// sequential depth-first search exactly.
+func (w *searcher) process(nd *tableNode) {
+	if w.ts.stop.Load() {
+		return
+	}
+	w.ts.tables.Add(1)
+	nd.materializeInto(w.table)
+	win, needed, legal, err := w.analyze()
+	if err != nil {
+		if err != errStopped {
+			w.ts.fail(err)
+		}
+		return
+	}
+	if win {
+		return
+	}
+	if legal == 0 {
+		w.ts.foundSurvivor(nd.toTable())
+		return
+	}
+	for d := DEither; d >= DStay; d-- {
+		if legal&(1<<uint(d)) != 0 {
+			w.ts.queue.push(&tableNode{parent: nd, obs: needed, d: d})
+		}
+	}
+}
+
+// checkAbort counts one unit of search work; every expansionBatch units
+// it flushes to the shared budget and reports budget exhaustion or a
+// cancelled tier.
+func (w *searcher) checkAbort() error {
+	w.local++
+	if w.local < expansionBatch {
+		return nil
+	}
+	total := w.ts.expansions.Add(w.local)
+	w.local = 0
+	// The stop flag outranks the budget: once a peer settled the tier
+	// (survivor found), burning past the budget on a branch the settled
+	// verdict makes irrelevant must not surface as ErrBudget.
+	if w.ts.stop.Load() {
+		return errStopped
+	}
+	if total > w.ts.maxExpansions {
+		return ErrBudget
+	}
+	return nil
+}
+
+// flush publishes the residual local expansion count.
+func (w *searcher) flush() {
+	if w.local > 0 {
+		w.ts.expansions.Add(w.local)
+		w.local = 0
+	}
+}
+
+func (w *searcher) step(u int, d ring.Direction) int {
+	if d == ring.CW {
+		if u+1 == w.n {
+			return 0
+		}
+		return u + 1
+	}
+	if u == 0 {
+		return w.n - 1
+	}
+	return u - 1
+}
+
+// analyze explores the adversary-reachable state graph under the current
+// table. It returns win=true when a collision or a fair starvation lasso
+// is forced using only defined entries; otherwise it reports an
+// undefined observation (legal != 0) for the table search to branch on,
+// or legal == 0 when the table already determines all behavior.
+func (w *searcher) analyze() (win bool, neededObs ObsKey, legal uint8, err error) {
+	clear(w.ids)
+	clear(w.needed)
+	w.states = w.states[:0]
+	w.cont = w.cont[:0]
+	w.info = w.info[:0]
+	w.edges = w.edges[:0]
+	full := uint64(1)<<uint(w.n) - 1
+
+	for _, st := range w.ts.starts {
+		if _, ok := w.ids[st]; ok {
+			continue
+		}
+		w.ids[st] = int32(len(w.states))
+		w.states = append(w.states, st)
+		w.cont = append(w.cont, contRefresh(0, st.occupied, w.n))
+		w.info = append(w.info, nodeInfo{})
+	}
+
+	// BFS: appending interned states makes the slice its own queue.
+	for id := int32(0); int(id) < len(w.states); id++ {
+		if err := w.checkAbort(); err != nil {
+			return false, ObsKey{}, 0, err
+		}
+		if w.expand(id) {
+			return true, ObsKey{}, 0, nil // collision forced
+		}
+		if w.info[id].allStayDeadlock && w.cont[id] != full {
+			// Nothing ever moves again and the ring is not clear: a fair
+			// (all robots cycle with Stay) starvation of the task.
+			return true, ObsKey{}, 0, nil
+		}
+	}
+
+	// No collision, no deadlock win. Hunt for a fair starvation loop,
+	// restricted to non-trivial strongly connected components of the
+	// non-stay edge graph (only they can carry cycles) and with
+	// iteratively deepened length caps (adversary wins are usually
+	// short), never exceeding MaxCycleLen.
+	w.computeSCCs()
+	allCaps := [3]int{6, 12, w.ts.maxCycleLen}
+	lengthCaps := allCaps[:]
+	if w.ts.maxCycleLen <= 6 {
+		lengthCaps = allCaps[2:]
+	} else if w.ts.maxCycleLen <= 12 {
+		allCaps[1] = w.ts.maxCycleLen
+		lengthCaps = allCaps[:2]
+	}
+	for _, lengthCap := range lengthCaps {
+		for id := int32(0); int(id) < len(w.states); id++ {
+			if w.scc[id] < 0 {
+				continue // trivial component: no cycle through here
+			}
+			bad, err := w.findBadCycle(id, lengthCap)
+			if err != nil {
+				return false, ObsKey{}, 0, err
+			}
+			if bad {
+				return true, ObsKey{}, 0, nil
+			}
+		}
+	}
+
+	// Branch on the unresolved observation with the fewest legal
+	// decisions: smallest fan-out first keeps the table tree narrow.
+	var best ObsKey
+	var bestMask uint8
+	bestOptions := 1 << 30
+	for obs, mask := range w.needed {
+		opts := bits.OnesCount8(mask)
+		if opts < bestOptions || (opts == bestOptions && obs.Less(best)) {
+			best = obs
+			bestMask = mask
+			bestOptions = opts
+		}
+	}
+	return false, best, bestMask, nil
+}
+
+// edgeTo interns the target state of an edge, deriving its stem
+// contamination from the source state's on first discovery.
+func (w *searcher) edgeTo(from int32, next state, movesCW, movesCCW uint64) int32 {
+	if id, ok := w.ids[next]; ok {
+		return id
+	}
+	cm := w.cont[from]
+	if movesCW|movesCCW != 0 {
+		cm = contApply(cm, movesCW, movesCCW, next.occupied, w.n)
+	}
+	id := int32(len(w.states))
+	w.ids[next] = id
+	w.states = append(w.states, next)
+	w.cont = append(w.cont, cm)
+	w.info = append(w.info, nodeInfo{})
+	return id
+}
+
+// expand lists the adversary's options at a state into the edge arena.
+// It reports whether the adversary can force a collision here.
+func (w *searcher) expand(id int32) (collision bool) {
+	st := w.states[id]
+	ni := nodeInfo{edgeOff: int32(len(w.edges))}
+	unknowns := false
+	movers := false
+	pendingCount := 0
+
+	// Pending executions (no table lookups needed).
+	if st.anyPending() {
+		for occ := st.occupied; occ != 0; occ &= occ - 1 {
+			u := bits.TrailingZeros64(occ)
+			dir, ok := st.pendingAt(u)
+			if !ok {
+				continue
+			}
+			pendingCount++
+			movers = true
+			to := w.step(u, dir)
+			if st.occupiedAt(to) {
+				return true
+			}
+			next := st.clearPending(u)
+			next.occupied = next.occupied&^(1<<uint(u)) | 1<<uint(to)
+			var mcw, mccw uint64
+			if dir == ring.CW {
+				mcw = 1 << uint(u)
+			} else {
+				mccw = 1 << uint(u)
+			}
+			w.edges = append(w.edges, edge{
+				to: w.edgeTo(id, next, mcw, mccw), acts: 1 << uint(u), movesCW: mcw, movesCCW: mccw,
+			})
+		}
+	}
+
+	// Fused and pending Look+Compute actions.
+	os := w.ts.obs.get(st.occupied)
+	for i := range os.infos {
+		oi := &os.infos[i]
+		if _, hasPending := st.pendingAt(oi.node); hasPending {
+			continue
+		}
+		d, known := w.table[oi.obs]
+		if !known {
+			unknowns = true
+			w.needed[oi.obs] = oi.legal
+			continue
+		}
+		if d == DStay {
+			ni.stayable |= 1 << uint(oi.node)
+			w.edges = append(w.edges, edge{to: id, acts: 1 << uint(oi.node), stay: true})
+			continue
+		}
+		movers = true
+		dirs, nd := decisionDirs(d, oi.loDir)
+		// Fused single activation: Look+Compute+Move atomically.
+		for j := 0; j < nd; j++ {
+			to := w.step(oi.node, dirs[j])
+			if st.occupiedAt(to) {
+				return true // defensive; legal masks exclude blocked moves
+			}
+			next := st
+			next.occupied = next.occupied&^(1<<uint(oi.node)) | 1<<uint(to)
+			var mcw, mccw uint64
+			if dirs[j] == ring.CW {
+				mcw = 1 << uint(oi.node)
+			} else {
+				mccw = 1 << uint(oi.node)
+			}
+			w.edges = append(w.edges, edge{
+				to: w.edgeTo(id, next, mcw, mccw), acts: 1 << uint(oi.node), movesCW: mcw, movesCCW: mccw,
+			})
+		}
+		// Split Look (pending created, move later) when the tier allows.
+		if pendingCount < w.pendingLimit {
+			for j := 0; j < nd; j++ {
+				next := st.withPending(oi.node, dirs[j])
+				w.edges = append(w.edges, edge{to: w.edgeTo(id, next, 0, 0), acts: 1 << uint(oi.node)})
+			}
+		}
+	}
+
+	// Simultaneous fused activation of whole same-observation groups:
+	// the adversary's classic symmetry exploit (Lemma 7, Theorem 4, the
+	// B8 rotation of case (4,8)).
+	for _, g := range os.groups {
+		d, known := w.table[os.infos[g[0]].obs]
+		if !known || d == DStay {
+			continue
+		}
+		w.groupBuf = w.groupBuf[:0]
+		for _, gi := range g {
+			if _, hasPending := st.pendingAt(os.infos[gi].node); !hasPending {
+				w.groupBuf = append(w.groupBuf, os.infos[gi])
+			}
+		}
+		if len(w.groupBuf) < 2 {
+			continue
+		}
+		if w.enumGroupCombos(id, st, d, 0) {
+			return true
+		}
+	}
+
+	ni.allStayDeadlock = !unknowns && !movers
+	ni.edgeLen = int32(len(w.edges)) - ni.edgeOff
+	w.info[id] = ni
+	return false
+}
+
+// decisionDirs resolves a moving decision into candidate directions
+// without allocating. Deterministic decisions contribute one direction;
+// Either contributes both (the adversary resolves it).
+func decisionDirs(d Decision, loDir ring.Direction) ([2]ring.Direction, int) {
+	switch d {
+	case DTowardLo:
+		return [2]ring.Direction{loDir}, 1
+	case DTowardHi:
+		return [2]ring.Direction{loDir.Opposite()}, 1
+	case DEither:
+		return [2]ring.Direction{ring.CW, ring.CCW}, 2
+	}
+	return [2]ring.Direction{}, 0
+}
+
+// enumGroupCombos enumerates the adversary's direction resolutions for
+// the filtered group in w.groupBuf, writing candidates into w.dirs.
+func (w *searcher) enumGroupCombos(id int32, st state, d Decision, idx int) (collision bool) {
+	if idx == len(w.groupBuf) {
+		return w.applyGroupMove(id, st)
+	}
+	dirs, nd := decisionDirs(d, w.groupBuf[idx].loDir)
+	for j := 0; j < nd; j++ {
+		w.dirs[idx] = dirs[j]
+		if w.enumGroupCombos(id, st, d, idx+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyGroupMove executes the simultaneous moves of w.groupBuf along
+// w.dirs. It reports a collision when two robots end on one node
+// (including a mover landing on a non-mover). A simultaneous swap of
+// adjacent robots is conservatively treated as legal (configuration
+// unchanged), keeping the modeled adversary no stronger than the paper's.
+func (w *searcher) applyGroupMove(id int32, st state) (collision bool) {
+	var targets, origins, mcw, mccw uint64
+	for i := range w.groupBuf {
+		u := w.groupBuf[i].node
+		to := w.step(u, w.dirs[i])
+		tb := uint64(1) << uint(to)
+		if targets&tb != 0 {
+			return true // two movers on one node
+		}
+		targets |= tb
+		origins |= 1 << uint(u)
+		if w.dirs[i] == ring.CW {
+			mcw |= 1 << uint(u)
+		} else {
+			mccw |= 1 << uint(u)
+		}
+	}
+	// Remove origins, then add targets; overlap with a standing robot is
+	// a collision.
+	standing := st.occupied &^ origins
+	if standing&targets != 0 {
+		return true // mover landed on a robot that did not move
+	}
+	next := st
+	next.occupied = standing | targets
+	w.edges = append(w.edges, edge{
+		to: w.edgeTo(id, next, mcw, mccw), acts: origins, movesCW: mcw, movesCCW: mccw,
+	})
+	return false
+}
+
+// computeSCCs labels every state with its strongly-connected-component
+// id over non-stay edges, using -1 for states in trivial (single,
+// non-cyclic) components. Iterative Tarjan over dense ids.
+func (w *searcher) computeSCCs() {
+	nStates := len(w.states)
+	w.scc = growI32(w.scc, nStates)
+	w.tarIndex = growI32(w.tarIndex, nStates)
+	w.tarLow = growI32(w.tarLow, nStates)
+	w.onStack = growBool(w.onStack, nStates)
+	for i := 0; i < nStates; i++ {
+		w.tarIndex[i] = -1
+		w.onStack[i] = false
+	}
+	w.tarStack = w.tarStack[:0]
+	w.frames = w.frames[:0]
+	w.compSize = w.compSize[:0]
+	next := int32(0)
+
+	for root := int32(0); int(root) < nStates; root++ {
+		if w.tarIndex[root] >= 0 {
+			continue
+		}
+		w.tarIndex[root] = next
+		w.tarLow[root] = next
+		next++
+		w.tarStack = append(w.tarStack, root)
+		w.onStack[root] = true
+		w.frames = append(w.frames, tarFrame{id: root})
+		for len(w.frames) > 0 {
+			f := &w.frames[len(w.frames)-1]
+			ni := &w.info[f.id]
+			advanced := false
+			for f.edge < ni.edgeLen {
+				e := &w.edges[ni.edgeOff+f.edge]
+				f.edge++
+				if e.stay {
+					continue
+				}
+				t := e.to
+				if w.tarIndex[t] < 0 {
+					w.tarIndex[t] = next
+					w.tarLow[t] = next
+					next++
+					w.tarStack = append(w.tarStack, t)
+					w.onStack[t] = true
+					w.frames = append(w.frames, tarFrame{id: t})
+					advanced = true
+					break
+				}
+				if w.onStack[t] {
+					if w.tarIndex[t] < w.tarLow[f.id] {
+						w.tarLow[f.id] = w.tarIndex[t]
+					}
+					if w.tarLow[t] < w.tarLow[f.id] {
+						w.tarLow[f.id] = w.tarLow[t]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			if len(w.frames) > 1 {
+				p := w.frames[len(w.frames)-2].id
+				if w.tarLow[f.id] < w.tarLow[p] {
+					w.tarLow[p] = w.tarLow[f.id]
+				}
+			}
+			if w.tarLow[f.id] == w.tarIndex[f.id] {
+				size := int32(0)
+				comp := int32(len(w.compSize))
+				for {
+					t := w.tarStack[len(w.tarStack)-1]
+					w.tarStack = w.tarStack[:len(w.tarStack)-1]
+					w.onStack[t] = false
+					w.scc[t] = comp
+					size++
+					if t == f.id {
+						break
+					}
+				}
+				w.compSize = append(w.compSize, size)
+			}
+			w.frames = w.frames[:len(w.frames)-1]
+		}
+	}
+	for i := 0; i < nStates; i++ {
+		if w.compSize[w.scc[i]] < 2 {
+			w.scc[i] = -1
+		}
+	}
+}
+
+// findBadCycle searches for a loop through the head state that is fair
+// and never clears the ring, starting from the stem contamination. The
+// search is confined to the head's strongly connected component and
+// bounded by lengthCap.
+func (w *searcher) findBadCycle(head int32, lengthCap int) (bool, error) {
+	w.visited = growU64(w.visited, len(w.states))
+	w.visitEpoch++
+	w.visited[head] = w.visitEpoch
+	w.path = w.path[:0]
+	return w.dfsCycle(head, head, w.scc[head], lengthCap)
+}
+
+func (w *searcher) dfsCycle(cur, target, comp int32, lengthCap int) (bool, error) {
+	if len(w.path) >= lengthCap {
+		return false, nil
+	}
+	ni := &w.info[cur]
+	for x := int32(0); x < ni.edgeLen; x++ {
+		e := w.edges[ni.edgeOff+x]
+		if e.stay {
+			continue
+		}
+		if err := w.checkAbort(); err != nil {
+			return false, err
+		}
+		if e.to == target {
+			w.cycle = append(w.cycle[:0], w.path...)
+			w.cycle = append(w.cycle, e)
+			if w.cycleIsFairAndBad(target) {
+				return true, nil
+			}
+			continue
+		}
+		if w.scc[e.to] != comp || w.visited[e.to] == w.visitEpoch {
+			continue
+		}
+		w.visited[e.to] = w.visitEpoch
+		w.path = append(w.path, e)
+		found, err := w.dfsCycle(e.to, target, comp, lengthCap)
+		w.path = w.path[:len(w.path)-1]
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}
+
+// cycleIsFairAndBad checks the winning conditions on the candidate loop
+// in w.cycle anchored at head, with contamination entering the loop as
+// in the head's stem.
+func (w *searcher) cycleIsFairAndBad(head int32) bool {
+	// --- Fairness ---
+	st := w.states[head]
+	acted := uint64(0)
+	stationary := st.occupied
+	w.cycleIDs = append(w.cycleIDs[:0], head)
+	for i := range w.cycle {
+		e := &w.cycle[i]
+		acted |= e.acts
+		stationary &= w.states[e.to].occupied
+		w.cycleIDs = append(w.cycleIDs, e.to)
+	}
+	for rest := stationary &^ acted; rest != 0; rest &= rest - 1 {
+		u := bits.TrailingZeros64(rest)
+		if _, hasPending := st.pendingAt(u); hasPending {
+			// A pending move held forever violates the model's
+			// finite-cycle requirement: unfair.
+			return false
+		}
+		canStay := false
+		for _, id := range w.cycleIDs {
+			sv := w.states[id]
+			if _, p := sv.pendingAt(u); p {
+				continue
+			}
+			if w.info[id].stayable&(1<<uint(u)) != 0 {
+				canStay = true
+				break
+			}
+		}
+		if !canStay {
+			return false
+		}
+	}
+
+	// --- Badness: iterate the loop from the stem contamination until the
+	// contamination state at the loop head repeats; if no pass in the
+	// repeating regime touches all-clear, the adversary wins. ---
+	full := uint64(1)<<uint(w.n) - 1
+	cm := w.cont[head]
+	w.maskSeen = w.maskSeen[:0]
+	w.passClear = w.passClear[:0]
+	const maxPasses = 1 << 16 // defensive; the head mask repeats almost immediately
+	for iter := 0; iter < maxPasses; iter++ {
+		for first, m := range w.maskSeen {
+			if m != cm {
+				continue
+			}
+			// Passes first..iter−1 repeat forever.
+			for i := first; i < iter; i++ {
+				if w.passClear[i] {
+					return false
+				}
+			}
+			return true
+		}
+		w.maskSeen = append(w.maskSeen, cm)
+		clearThisPass := cm == full
+		for i := range w.cycle {
+			e := &w.cycle[i]
+			if e.movesCW|e.movesCCW != 0 {
+				cm = contApply(cm, e.movesCW, e.movesCCW, w.states[e.to].occupied, w.n)
+				if cm == full {
+					clearThisPass = true
+				}
+			}
+		}
+		w.passClear = append(w.passClear, clearThisPass)
+	}
+	return false // defensive: pass budget exhausted without repetition
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}

@@ -31,13 +31,28 @@
 // adversary wins against every completion of the table, no oblivious
 // algorithm solves exclusive perpetual graph searching for that (k, n).
 //
-// The state space is (occupied node set, pending moves); for the paper's
-// finite cases (n ≤ 9) it is small enough for exhaustive search.
+// # Architecture
+//
+// The state space is (occupied node set, pending moves), packed into a
+// 192-bit comparable value supporting rings up to n = 32. The branches
+// of the decision-table search are independent subproblems: Solve
+// dispatches them to a bounded worker pool over a shared LIFO queue,
+// with copy-on-write table chains (siblings share their prefix) and
+// fail-fast cancellation the moment any worker finds a surviving table.
+// Per-configuration observations are memoized in a sharded concurrent
+// cache keyed by occupied mask, shared by all branches and tiers. Each
+// worker owns a state-interning search engine (state → dense id,
+// slice-backed adjacency, bitmask edges and contamination) whose buffers
+// are reused across all branches the worker processes — see searcher.go.
+// For the paper's finite cases (n ≤ 9) the per-branch graphs are small
+// enough for exhaustive search.
 package feasibility
 
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync"
 
 	"ringrobots/internal/config"
 	"ringrobots/internal/ring"
@@ -94,66 +109,10 @@ func (o ObsKey) String() string {
 	return o.Lo.String() + "|" + o.Hi.String()
 }
 
-// Table is a partial oblivious algorithm: observation → decision.
+// Table is a partial oblivious algorithm: observation → decision. The
+// search never clones tables: branches are copy-on-write tableNode
+// chains, materialized into a per-worker scratch map once per analyze.
 type Table map[ObsKey]Decision
-
-// Clone copies the table.
-func (t Table) Clone() Table {
-	out := make(Table, len(t))
-	for k, v := range t {
-		out[k] = v
-	}
-	return out
-}
-
-// state is a game position: which nodes are occupied and which of them
-// hold robots with a computed-but-unexecuted move.
-type state struct {
-	n        int
-	occupied uint32 // bitmask over nodes
-	pending  uint64 // 2 bits per node: 0 none, 1 cw, 2 ccw
-}
-
-func (s state) key() uint64 {
-	return uint64(s.occupied) | s.pending<<32
-}
-
-func (s state) occupiedAt(u int) bool { return s.occupied&(1<<uint(u)) != 0 }
-
-func (s state) pendingAt(u int) (ring.Direction, bool) {
-	bits := (s.pending >> (2 * uint(u))) & 3
-	switch bits {
-	case 1:
-		return ring.CW, true
-	case 2:
-		return ring.CCW, true
-	}
-	return 0, false
-}
-
-func (s state) withPending(u int, d ring.Direction) state {
-	bits := uint64(1)
-	if d == ring.CCW {
-		bits = 2
-	}
-	s.pending |= bits << (2 * uint(u))
-	return s
-}
-
-func (s state) clearPending(u int) state {
-	s.pending &^= 3 << (2 * uint(u))
-	return s
-}
-
-func (s state) config() config.Config {
-	var nodes []int
-	for u := 0; u < s.n; u++ {
-		if s.occupiedAt(u) {
-			nodes = append(nodes, u)
-		}
-	}
-	return config.MustNew(s.n, nodes...)
-}
 
 // obsOf builds the observation of the robot at node u: the unordered
 // pair of its directional views, the direction realizing the smaller
@@ -186,7 +145,9 @@ func obsOf(c config.Config, u int) (ObsKey, ring.Direction, uint8) {
 }
 
 // decisionsFromMask expands a legal-decision bitmask in the fixed
-// enumeration order (Stay, TowardLo, TowardHi, Either).
+// enumeration order (Stay, TowardLo, TowardHi, Either). The solver's hot
+// branch path iterates masks inline; this helper serves diagnostics and
+// tests.
 func decisionsFromMask(mask uint8) []Decision {
 	out := make([]Decision, 0, bits.OnesCount8(mask))
 	for d := DStay; d <= DEither; d++ {
@@ -197,25 +158,16 @@ func decisionsFromMask(mask uint8) []Decision {
 	return out
 }
 
-// movePair records one executed traversal.
-type movePair struct{ from, to int }
-
-// edge is one adversary scheduling step in the state graph: a single
-// robot's Look (creating a pending move or completing a Stay cycle), a
-// pending execution, a fused Look+Move, or the simultaneous fused
-// activation of a group of robots sharing one observation.
-type edge struct {
-	to state
-	// acts lists the nodes whose robots were activated or moved.
-	acts []int
-	// moves lists the traversals executed by this step (empty for pure
-	// Looks and Stays).
-	moves []movePair
-	// stay marks a Look that resulted in a Stay decision (a complete
-	// robot cycle without movement). Stay edges are self-loops; they are
-	// excluded from cycle search and re-inserted by the fairness check.
-	stay bool
+// obsInfo is one robot's cached observation in a configuration.
+type obsInfo struct {
+	node  int
+	obs   ObsKey
+	loDir ring.Direction
+	legal uint8 // bitmask of legal decisions for this observation
 }
+
+// ErrBudget reports an exhausted search budget (no verdict).
+var ErrBudget = fmt.Errorf("feasibility: search budget exhausted")
 
 // Solver searches for an adversary win against every algorithm table.
 //
@@ -229,56 +181,32 @@ type edge struct {
 // impossibility verdict at any tier is sound; a survivor escalates.
 type Solver struct {
 	N, K int
-	// MaxExpansions bounds graph work per table branch; exceeding it
-	// aborts with ErrBudget rather than returning a wrong verdict.
+	// MaxExpansions bounds graph work per tier (cumulative across table
+	// branches and workers); exceeding it aborts with ErrBudget rather
+	// than returning a wrong verdict.
 	MaxExpansions int
 	// MaxCycleLen bounds the length of candidate starvation loops.
 	MaxCycleLen int
 	// PendingTiers lists the pending-move allowances tried in order;
 	// defaults to {0, 2}.
 	PendingTiers []int
+	// Workers is the size of the table-search worker pool; 0 or negative
+	// means GOMAXPROCS. The verdict and tier are identical for any worker
+	// count (the decision tree is explored exhaustively unless a survivor
+	// cancels it); only wall time and the identity of the surviving table
+	// may differ.
+	Workers int
 
-	pendingLimit int
-	expansions   int
 	// obsCache memoizes per-configuration observations across all table
-	// branches: occupied mask → per-node observation and Lo direction.
-	obsCache map[uint32][]obsInfo
+	// branches, tiers and workers, sharded by occupied mask.
+	obsCache *obsCache
 }
 
-type obsInfo struct {
-	node  int
-	obs   ObsKey
-	loDir ring.Direction
-	legal uint8 // bitmask of legal decisions for this observation
-}
-
-// observations returns the cached observation list of a configuration.
-func (s *Solver) observations(st state) []obsInfo {
-	if s.obsCache == nil {
-		s.obsCache = make(map[uint32][]obsInfo)
-	}
-	if cached, ok := s.obsCache[st.occupied]; ok {
-		return cached
-	}
-	c := st.config()
-	var out []obsInfo
-	for u := 0; u < s.N; u++ {
-		if !st.occupiedAt(u) {
-			continue
-		}
-		obs, loDir, legal := obsOf(c, u)
-		out = append(out, obsInfo{node: u, obs: obs, loDir: loDir, legal: legal})
-	}
-	s.obsCache[st.occupied] = out
-	return out
-}
-
-// ErrBudget reports an exhausted search budget (no verdict).
-var ErrBudget = fmt.Errorf("feasibility: search budget exhausted")
-
-// NewSolver returns a solver with defaults suitable for n ≤ 9.
+// NewSolver returns a solver with defaults suitable for n ≤ 9: the
+// budget covers even the deepest Theorem 5 cases, (4,9) and (5,9), which
+// the interned engine finishes in seconds.
 func NewSolver(n, k int) *Solver {
-	return &Solver{N: n, K: k, MaxExpansions: 30_000_000, MaxCycleLen: 24, PendingTiers: []int{0, 2}}
+	return &Solver{N: n, K: k, MaxExpansions: 250_000_000, MaxCycleLen: 24, PendingTiers: []int{0, 2}}
 }
 
 // Result reports a Solve outcome.
@@ -289,269 +217,85 @@ type Result struct {
 	Tier int
 	// SurvivorTable holds a table the adversary failed to beat (when
 	// Impossible is false) — a candidate algorithm that survived the
-	// strongest tier tried, not a proof of solvability.
+	// strongest tier tried, not a proof of solvability. Under a parallel
+	// search any of the surviving tables may be reported.
 	SurvivorTable Table
 	// TablesExplored counts decision-table branches examined (cumulative
-	// over tiers).
+	// over tiers; schedule-dependent under a parallel search, since the
+	// first survivor cancels the remaining branches).
 	TablesExplored int
 }
 
 // Solve decides whether exclusive perpetual graph searching with K robots
 // on an N-node ring is impossible for every oblivious algorithm.
 func (s *Solver) Solve() (Result, error) {
-	if s.K < 1 || s.K >= s.N || s.N < 3 || s.N > 16 {
-		return Result{}, fmt.Errorf("feasibility: solver supports 3 <= n <= 16, 1 <= k < n; got n=%d k=%d", s.N, s.K)
+	if s.K < 1 || s.K >= s.N || s.N < 3 || s.N > maxRingSize {
+		return Result{}, fmt.Errorf("feasibility: solver supports 3 <= n <= %d, 1 <= k < n; got n=%d k=%d", maxRingSize, s.N, s.K)
 	}
 	tiers := s.PendingTiers
 	if len(tiers) == 0 {
 		tiers = []int{0, 2}
 	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if s.obsCache == nil || s.obsCache.n != s.N {
+		s.obsCache = newObsCache(s.N)
+	}
+	starts := s.initialStates()
+
 	res := Result{}
 	for _, limit := range tiers {
-		s.pendingLimit = limit
-		s.expansions = 0 // cumulative budget per tier
 		res.Tier = limit
 		res.SurvivorTable = nil
-		table := make(Table)
-		impossible, err := s.forAllTables(table, &res)
-		if err != nil {
-			return res, err
+		ts := &tierSearch{
+			n:             s.N,
+			k:             s.K,
+			pendingLimit:  limit,
+			maxExpansions: int64(s.MaxExpansions), // budget per tier
+			maxCycleLen:   s.MaxCycleLen,
+			starts:        starts,
+			obs:           s.obsCache,
+			queue:         newWorkQueue(),
 		}
-		if impossible {
-			res.Impossible = true
-			return res, nil
+		ts.queue.push(&tableNode{}) // root: the empty table
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := newSearcher(ts)
+				for {
+					nd := ts.queue.pop()
+					if nd == nil {
+						return
+					}
+					w.process(nd)
+					w.flush()
+					ts.queue.finish()
+				}
+			}()
 		}
+		wg.Wait()
+		res.TablesExplored += int(ts.tables.Load())
+		// A survivor settles the tier even if a racing worker exhausted
+		// the budget on a branch the survivor made irrelevant: one table
+		// the adversary cannot beat refutes impossibility regardless of
+		// the unexplored remainder, so the verdict stays identical for
+		// every worker count. An impossibility verdict, by contrast,
+		// needs the whole tree drained, so any error voids it.
+		if ts.survivor != nil {
+			res.SurvivorTable = ts.survivor
+			continue // a survivor escalates to the next tier
+		}
+		if ts.err != nil {
+			return res, ts.err
+		}
+		res.Impossible = true
+		return res, nil
 	}
 	return res, nil
-}
-
-// forAllTables reports whether the adversary wins against every
-// completion of the partial table.
-func (s *Solver) forAllTables(table Table, res *Result) (bool, error) {
-	res.TablesExplored++
-	win, needed, legal, err := s.analyze(table)
-	if err != nil {
-		return false, err
-	}
-	if win {
-		return true, nil
-	}
-	if legal == 0 {
-		// Table fully determines all reachable behavior and the adversary
-		// found no win: a surviving candidate algorithm.
-		if res.SurvivorTable == nil {
-			res.SurvivorTable = table.Clone()
-		}
-		return false, nil
-	}
-	for _, d := range decisionsFromMask(legal) {
-		table[needed] = d
-		ok, err := s.forAllTables(table, res)
-		delete(table, needed)
-		if err != nil {
-			return false, err
-		}
-		if !ok {
-			return false, nil
-		}
-	}
-	return true, nil
-}
-
-// nodeInfo caches per-state expansion results.
-type nodeInfo struct {
-	edges []edge
-	// stayable[u] is true when the robot at node u has a known Stay
-	// decision in this state (used by the fairness check).
-	stayable map[int]bool
-	// unknown lists observations in this state missing from the table,
-	// with their legal-decision masks.
-	unknown []obsInfo
-	// allStayDeadlock marks states where no robot has a pending move and
-	// every robot's (known) decision is Stay with no unknowns.
-	allStayDeadlock bool
-}
-
-// analyze explores the adversary-reachable state graph under a partial
-// table. It returns win=true when a collision or a fair starvation lasso
-// is forced using only defined entries; otherwise it reports an
-// undefined observation (legal != 0) for the table search to branch on,
-// or legal == 0 when the table already determines all behavior.
-func (s *Solver) analyze(table Table) (win bool, needed ObsKey, legal uint8, err error) {
-	starts := s.initialStates()
-	seen := make(map[uint64]*contaminationSim) // stem contamination at discovery
-	info := make(map[uint64]*nodeInfo)
-	var order []state
-	queue := make([]state, 0, len(starts))
-	for _, st := range starts {
-		if _, ok := seen[st.key()]; !ok {
-			seen[st.key()] = newContaminationSim(s.N, st)
-			queue = append(queue, st)
-		}
-	}
-	neededSet := make(map[ObsKey]uint8)
-	for len(queue) > 0 {
-		st := queue[0]
-		queue = queue[1:]
-		order = append(order, st)
-		s.expansions++
-		if s.expansions > s.MaxExpansions {
-			return false, ObsKey{}, 0, ErrBudget
-		}
-		ni, collision := s.expand(st, table)
-		if collision {
-			return true, ObsKey{}, 0, nil
-		}
-		for _, oi := range ni.unknown {
-			neededSet[oi.obs] = oi.legal
-		}
-		info[st.key()] = ni
-		if ni.allStayDeadlock && !seen[st.key()].allClear() {
-			// Nothing ever moves again and the ring is not clear: a fair
-			// (all robots cycle with Stay) starvation of the task.
-			return true, ObsKey{}, 0, nil
-		}
-		for _, e := range ni.edges {
-			if e.stay {
-				continue
-			}
-			if _, ok := seen[e.to.key()]; !ok {
-				cont := seen[st.key()].clone()
-				cont.applyMoves(e.moves, e.to)
-				seen[e.to.key()] = cont
-				queue = append(queue, e.to)
-			}
-		}
-	}
-	// No collision, no deadlock win. Hunt for a fair starvation loop,
-	// restricted to non-trivial strongly connected components of the
-	// non-stay edge graph (only they can carry cycles) and with
-	// iteratively deepened length caps (adversary wins are usually short).
-	sccOf := s.sccs(order, info)
-	for _, lengthCap := range []int{6, 12, s.MaxCycleLen} {
-		for _, st := range order {
-			if sccOf[st.key()] < 0 {
-				continue // trivial component: no cycle through here
-			}
-			bad, err := s.findBadCycle(st, seen[st.key()], info, sccOf, lengthCap)
-			if err != nil {
-				return false, ObsKey{}, 0, err
-			}
-			if bad {
-				return true, ObsKey{}, 0, nil
-			}
-		}
-	}
-	// Branch on the unresolved observation with the fewest legal
-	// decisions: smallest fan-out first keeps the table tree narrow.
-	var best ObsKey
-	var bestMask uint8
-	bestOptions := 1 << 30
-	for obs, mask := range neededSet {
-		opts := bits.OnesCount8(mask)
-		if opts < bestOptions || (opts == bestOptions && obs.Less(best)) {
-			best = obs
-			bestMask = mask
-			bestOptions = opts
-		}
-	}
-	return false, best, bestMask, nil
-}
-
-// sccs labels every state with its strongly-connected-component id over
-// non-stay edges, using -1 for states in trivial (single, non-cyclic)
-// components. Iterative Tarjan.
-func (s *Solver) sccs(order []state, info map[uint64]*nodeInfo) map[uint64]int {
-	index := make(map[uint64]int, len(order))
-	lowlink := make(map[uint64]int, len(order))
-	onStack := make(map[uint64]bool, len(order))
-	comp := make(map[uint64]int, len(order))
-	compSize := make(map[int]int)
-	var stack []uint64
-	next := 0
-	nComp := 0
-
-	type frame struct {
-		key  uint64
-		st   state
-		edge int
-	}
-	for _, root := range order {
-		if _, ok := index[root.key()]; ok {
-			continue
-		}
-		frames := []frame{{key: root.key(), st: root}}
-		index[root.key()] = next
-		lowlink[root.key()] = next
-		next++
-		stack = append(stack, root.key())
-		onStack[root.key()] = true
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			ni := info[f.key]
-			advanced := false
-			for f.edge < len(ni.edges) {
-				e := ni.edges[f.edge]
-				f.edge++
-				if e.stay {
-					continue
-				}
-				tk := e.to.key()
-				if _, ok := index[tk]; !ok {
-					index[tk] = next
-					lowlink[tk] = next
-					next++
-					stack = append(stack, tk)
-					onStack[tk] = true
-					frames = append(frames, frame{key: tk, st: e.to})
-					advanced = true
-					break
-				}
-				if onStack[tk] && index[tk] < lowlink[f.key] {
-					lowlink[f.key] = index[tk]
-				}
-				if lowlink[tk] < lowlink[f.key] && onStack[tk] {
-					lowlink[f.key] = lowlink[tk]
-				}
-			}
-			if advanced {
-				continue
-			}
-			// Pop the frame.
-			if len(frames) > 1 {
-				pk := frames[len(frames)-2].key
-				if lowlink[f.key] < lowlink[pk] {
-					lowlink[pk] = lowlink[f.key]
-				}
-			}
-			if lowlink[f.key] == index[f.key] {
-				size := 0
-				for {
-					k := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[k] = false
-					comp[k] = nComp
-					size++
-					if k == f.key {
-						break
-					}
-				}
-				compSize[nComp] = size
-				nComp++
-			}
-			frames = frames[:len(frames)-1]
-		}
-	}
-	out := make(map[uint64]int, len(order))
-	for _, st := range order {
-		c := comp[st.key()]
-		if compSize[c] >= 2 {
-			out[st.key()] = c
-		} else {
-			out[st.key()] = -1
-		}
-	}
-	return out
 }
 
 // initialStates returns one representative per equivalence class of
@@ -569,11 +313,11 @@ func (s *Solver) initialStates() []state {
 				return
 			}
 			seen[key] = true
-			var occ uint32
+			var occ uint64
 			for _, u := range nodes {
 				occ |= 1 << uint(u)
 			}
-			out = append(out, state{n: s.N, occupied: occ})
+			out = append(out, state{occupied: occ})
 			return
 		}
 		for u := next; u <= s.N-(s.K-idx); u++ {
@@ -584,373 +328,4 @@ func (s *Solver) initialStates() []state {
 	nodes[0] = 0
 	rec(1, 1)
 	return out
-}
-
-// expand lists the adversary's options at a state.
-func (s *Solver) expand(st state, table Table) (ni *nodeInfo, collision bool) {
-	r := ring.New(s.N)
-	ni = &nodeInfo{stayable: make(map[int]bool)}
-	unknowns := false
-	movers := false
-	pendingCount := 0
-
-	// Pending executions (no table lookups needed).
-	for u := 0; u < s.N; u++ {
-		if !st.occupiedAt(u) {
-			continue
-		}
-		dir, ok := st.pendingAt(u)
-		if !ok {
-			continue
-		}
-		pendingCount++
-		movers = true
-		to := r.Step(u, dir)
-		if st.occupiedAt(to) {
-			return nil, true
-		}
-		next := st.clearPending(u)
-		next.occupied &^= 1 << uint(u)
-		next.occupied |= 1 << uint(to)
-		ni.edges = append(ni.edges, edge{to: next, acts: []int{u}, moves: []movePair{{u, to}}})
-	}
-
-	// Fused and pending Look+Compute actions, plus grouping by
-	// observation for simultaneous activation of identical robots.
-	groups := make(map[ObsKey][]obsInfo)
-	for _, oi := range s.observations(st) {
-		if _, hasPending := st.pendingAt(oi.node); hasPending {
-			continue
-		}
-		d, known := table[oi.obs]
-		if !known {
-			unknowns = true
-			ni.unknown = append(ni.unknown, oi)
-			continue
-		}
-		if d == DStay {
-			ni.stayable[oi.node] = true
-			ni.edges = append(ni.edges, edge{to: st, acts: []int{oi.node}, stay: true})
-			continue
-		}
-		movers = true
-		groups[oi.obs] = append(groups[oi.obs], oi)
-		// Fused single activation: Look+Compute+Move atomically.
-		for _, dir := range s.decisionDirs(d, oi.loDir) {
-			if e, coll := s.applyGroupMove(st, []obsInfo{oi}, []ring.Direction{dir}, r); coll {
-				return nil, true
-			} else if e != nil {
-				ni.edges = append(ni.edges, *e)
-			}
-		}
-		// Split Look (pending created, move later) when the tier allows.
-		if pendingCount < s.pendingLimit {
-			for _, dir := range s.decisionDirs(d, oi.loDir) {
-				ni.edges = append(ni.edges, edge{to: st.withPending(oi.node, dir), acts: []int{oi.node}})
-			}
-		}
-	}
-
-	// Simultaneous fused activation of whole same-observation groups:
-	// the adversary's classic symmetry exploit (Lemma 7, Theorem 4, the
-	// B8 rotation of case (4,8)).
-	for _, group := range groups {
-		if len(group) < 2 {
-			continue
-		}
-		d := table[group[0].obs]
-		s.forEachDirCombo(d, group, nil, func(dirs []ring.Direction) bool {
-			e, coll := s.applyGroupMove(st, group, dirs, r)
-			if coll {
-				collision = true
-				return false
-			}
-			if e != nil {
-				ni.edges = append(ni.edges, *e)
-			}
-			return true
-		})
-		if collision {
-			return nil, true
-		}
-	}
-
-	ni.allStayDeadlock = !unknowns && !movers
-	return ni, false
-}
-
-// decisionDirs resolves a moving decision into candidate directions.
-func (s *Solver) decisionDirs(d Decision, loDir ring.Direction) []ring.Direction {
-	switch d {
-	case DTowardLo:
-		return []ring.Direction{loDir}
-	case DTowardHi:
-		return []ring.Direction{loDir.Opposite()}
-	case DEither:
-		return []ring.Direction{ring.CW, ring.CCW}
-	}
-	return nil
-}
-
-// forEachDirCombo enumerates the adversary's direction resolutions for a
-// group of same-observation robots. Deterministic decisions contribute a
-// single direction per robot; Either branches.
-func (s *Solver) forEachDirCombo(d Decision, group []obsInfo, prefix []ring.Direction, f func([]ring.Direction) bool) bool {
-	if len(prefix) == len(group) {
-		return f(prefix)
-	}
-	for _, dir := range s.decisionDirs(d, group[len(prefix)].loDir) {
-		if !s.forEachDirCombo(d, group, append(prefix, dir), f) {
-			return false
-		}
-	}
-	return true
-}
-
-// applyGroupMove executes the simultaneous moves of a set of robots.
-// It reports a collision when two robots end on one node (including a
-// mover landing on a non-mover). A simultaneous swap of adjacent robots
-// is conservatively treated as legal (configuration unchanged), keeping
-// the modeled adversary no stronger than the paper's.
-func (s *Solver) applyGroupMove(st state, group []obsInfo, dirs []ring.Direction, r ring.Ring) (*edge, bool) {
-	next := st
-	var moves []movePair
-	var acts []int
-	targets := uint32(0)
-	for i, oi := range group {
-		to := r.Step(oi.node, dirs[i])
-		if targets&(1<<uint(to)) != 0 {
-			return nil, true // two movers on one node
-		}
-		targets |= 1 << uint(to)
-		moves = append(moves, movePair{oi.node, to})
-		acts = append(acts, oi.node)
-	}
-	// Remove origins, then add targets; overlap with a standing robot is
-	// a collision.
-	for _, m := range moves {
-		next.occupied &^= 1 << uint(m.from)
-	}
-	for _, m := range moves {
-		if next.occupied&(1<<uint(m.to)) != 0 {
-			return nil, true // mover landed on a robot that did not move
-		}
-		next.occupied |= 1 << uint(m.to)
-	}
-	return &edge{to: next, acts: acts, moves: moves}, false
-}
-
-// findBadCycle searches for a loop through st that is fair and never
-// clears the ring, starting from the stem contamination. The search is
-// confined to st's strongly connected component and bounded by lengthCap.
-func (s *Solver) findBadCycle(st state, stemCont *contaminationSim, info map[uint64]*nodeInfo, sccOf map[uint64]int, lengthCap int) (bool, error) {
-	target := st.key()
-	scc := sccOf[target]
-	var dfs func(cur state, path []edge, visited map[uint64]bool) (bool, error)
-	dfs = func(cur state, path []edge, visited map[uint64]bool) (bool, error) {
-		if len(path) >= lengthCap {
-			return false, nil
-		}
-		ni := info[cur.key()]
-		if ni == nil {
-			return false, nil
-		}
-		for _, e := range ni.edges {
-			if e.stay {
-				continue
-			}
-			s.expansions++
-			if s.expansions > s.MaxExpansions {
-				return false, ErrBudget
-			}
-			tk := e.to.key()
-			if tk == target {
-				cycle := append(append([]edge{}, path...), e)
-				if s.cycleIsFairAndBad(st, cycle, stemCont, info) {
-					return true, nil
-				}
-				continue
-			}
-			if sccOf[tk] != scc || visited[tk] {
-				continue
-			}
-			visited[tk] = true
-			found, err := dfs(e.to, append(path, e), visited)
-			if err != nil {
-				return false, err
-			}
-			if found {
-				return true, nil
-			}
-		}
-		return false, nil
-	}
-	visited := map[uint64]bool{target: true}
-	return dfs(st, nil, visited)
-}
-
-// cycleIsFairAndBad checks the winning conditions on a candidate loop
-// anchored at st, with contamination entering the loop as in stemCont.
-func (s *Solver) cycleIsFairAndBad(st state, cycle []edge, stemCont *contaminationSim, info map[uint64]*nodeInfo) bool {
-	// --- Fairness ---
-	acted := make(map[int]bool)
-	states := []state{st}
-	cur := st
-	for _, e := range cycle {
-		for _, a := range e.acts {
-			acted[a] = true
-		}
-		cur = e.to
-		states = append(states, cur)
-	}
-	for u := 0; u < s.N; u++ {
-		stationary := true
-		for _, sv := range states {
-			if !sv.occupiedAt(u) {
-				stationary = false
-				break
-			}
-		}
-		if !stationary || acted[u] {
-			continue
-		}
-		if _, hasPending := st.pendingAt(u); hasPending {
-			// A pending move held forever violates the model's
-			// finite-cycle requirement: unfair.
-			return false
-		}
-		canStay := false
-		for _, sv := range states {
-			if _, p := sv.pendingAt(u); p {
-				continue
-			}
-			if ni := info[sv.key()]; ni != nil && ni.stayable[u] {
-				canStay = true
-				break
-			}
-		}
-		if !canStay {
-			return false
-		}
-	}
-
-	// --- Badness: iterate the loop from the stem contamination until the
-	// contamination state at the loop head repeats; if no pass in the
-	// repeating regime touches all-clear, the adversary wins. ---
-	cont := stemCont.clone()
-	seenMasks := make(map[uint32]int)
-	var passClear []bool
-	for iter := 0; iter <= 1<<uint(s.N); iter++ {
-		maskKey := cont.maskBits()
-		if first, ok := seenMasks[maskKey]; ok {
-			// Passes first..iter−1 repeat forever.
-			for i := first; i < iter; i++ {
-				if passClear[i] {
-					return false
-				}
-			}
-			return true
-		}
-		seenMasks[maskKey] = iter
-		clearThisPass := cont.allClear()
-		for _, e := range cycle {
-			if len(e.moves) > 0 {
-				cont.applyMoves(e.moves, e.to)
-				if cont.allClear() {
-					clearThisPass = true
-				}
-			}
-		}
-		passClear = append(passClear, clearThisPass)
-	}
-	return false // defensive: mask space exhausted without repetition
-}
-
-// contaminationSim mirrors the mixed-search rules of §4.1 on bitmask
-// states (kept local to avoid an import cycle; semantics identical to
-// package search's Contamination).
-type contaminationSim struct {
-	n     int
-	r     ring.Ring
-	clear []bool
-	occ   state
-}
-
-func newContaminationSim(n int, st state) *contaminationSim {
-	c := &contaminationSim{n: n, r: ring.New(n), clear: make([]bool, n), occ: st}
-	c.refresh(-1)
-	return c
-}
-
-func (c *contaminationSim) clone() *contaminationSim {
-	cl := make([]bool, len(c.clear))
-	copy(cl, c.clear)
-	return &contaminationSim{n: c.n, r: c.r, clear: cl, occ: c.occ}
-}
-
-// applyMoves records the simultaneous traversals of one step and
-// re-evaluates edge states against the post-move occupancy.
-func (c *contaminationSim) applyMoves(moves []movePair, after state) {
-	if len(moves) == 0 {
-		return
-	}
-	c.occ = after
-	for _, m := range moves {
-		c.clear[c.r.EdgeBetween(m.from, m.to)] = true
-	}
-	c.refresh(-1)
-}
-
-func (c *contaminationSim) refresh(traversed int) {
-	if traversed >= 0 {
-		c.clear[traversed] = true
-	}
-	for e := 0; e < c.n; e++ {
-		u, v := c.r.EdgeEnds(ring.Edge(e))
-		if c.occ.occupiedAt(u) && c.occ.occupiedAt(v) {
-			c.clear[e] = true
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for e := 0; e < c.n; e++ {
-			if c.clear[e] {
-				continue
-			}
-			u, v := c.r.EdgeEnds(ring.Edge(e))
-			for _, z := range []int{u, v} {
-				if c.occ.occupiedAt(z) {
-					continue
-				}
-				a, b := c.r.IncidentEdges(z)
-				for _, f := range []ring.Edge{a, b} {
-					if c.clear[f] {
-						c.clear[f] = false
-						changed = true
-					}
-				}
-			}
-		}
-	}
-}
-
-func (c *contaminationSim) allClear() bool {
-	for _, cl := range c.clear {
-		if !cl {
-			return false
-		}
-	}
-	return true
-}
-
-// maskBits packs the per-edge clear flags into a bitmask (n ≤ 16, so a
-// uint32 always suffices).
-func (c *contaminationSim) maskBits() uint32 {
-	var m uint32
-	for e, cl := range c.clear {
-		if cl {
-			m |= 1 << uint(e)
-		}
-	}
-	return m
 }

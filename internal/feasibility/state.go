@@ -1,0 +1,119 @@
+package feasibility
+
+import (
+	"ringrobots/internal/config"
+	"ringrobots/internal/ring"
+)
+
+// maxRingSize is the widest ring the solver supports: n ≤ 32 keeps every
+// single-word bitmask — occupancy, activation sets, per-edge
+// contamination, and their rotations — inside a uint64. The binding
+// constraints are those masks, not the pending register (see state).
+const maxRingSize = 32
+
+// state is a game position: which nodes are occupied and which of them
+// hold robots with a computed-but-unexecuted move. It is a plain
+// comparable 192-bit value, used directly as the interning key of the
+// state graph.
+type state struct {
+	occupied uint64 // bitmask over nodes
+	// pending holds 2 bits per node (0 none, 1 cw, 2 ccw), node u at bits
+	// [2(u mod 32), 2(u mod 32)+2) of word u/32. Only word 0 is populated
+	// at the current maxRingSize of 32; the second word is headroom for
+	// an n ≤ 64 solver once the occupancy/contamination masks and their
+	// rotation helpers grow past single words.
+	pending [2]uint64
+}
+
+func (s state) occupiedAt(u int) bool { return s.occupied&(1<<uint(u)) != 0 }
+
+func (s state) pendingAt(u int) (ring.Direction, bool) {
+	switch (s.pending[u>>5] >> (2 * (uint(u) & 31))) & 3 {
+	case 1:
+		return ring.CW, true
+	case 2:
+		return ring.CCW, true
+	}
+	return 0, false
+}
+
+// anyPending reports whether any robot holds a computed-but-unexecuted move.
+func (s state) anyPending() bool { return s.pending[0]|s.pending[1] != 0 }
+
+func (s state) withPending(u int, d ring.Direction) state {
+	bits := uint64(1)
+	if d == ring.CCW {
+		bits = 2
+	}
+	s.pending[u>>5] |= bits << (2 * (uint(u) & 31))
+	return s
+}
+
+func (s state) clearPending(u int) state {
+	s.pending[u>>5] &^= 3 << (2 * (uint(u) & 31))
+	return s
+}
+
+// config materializes the occupied set as a configuration value.
+func (s state) config(n int) config.Config {
+	nodes := make([]int, 0, 8)
+	for u := 0; u < n; u++ {
+		if s.occupiedAt(u) {
+			nodes = append(nodes, u)
+		}
+	}
+	return config.MustNew(n, nodes...)
+}
+
+// --- contamination on edge bitmasks -----------------------------------------
+//
+// The mixed-search rules of §4.1, evaluated on bitmasks instead of
+// per-edge boolean slices: the ring's n edges (edge e joins nodes e and
+// e+1 mod n) fit one word for n ≤ 32, so the clear/contaminated fixpoint
+// becomes a handful of rotate-and-mask steps per move batch. Semantics
+// are identical to package search's Contamination; the boolean-slice
+// oracle is retained in the tests and differentially checked.
+
+// rotL1 rotates an n-bit mask up by one: bit u of the result is bit u−1
+// (mod n) of m. m must have no bits at or above position n.
+func rotL1(m uint64, n int) uint64 {
+	return (m<<1 | m>>(uint(n)-1)) & (uint64(1)<<uint(n) - 1)
+}
+
+// rotR1 rotates an n-bit mask down by one: bit u of the result is bit
+// u+1 (mod n) of m.
+func rotR1(m uint64, n int) uint64 {
+	return (m>>1 | m<<(uint(n)-1)) & (uint64(1)<<uint(n) - 1)
+}
+
+// contRefresh returns the stable clear-edge mask reached from the given
+// clear set under occupancy occ: an edge between two occupied nodes is
+// always clear, and contamination spreads from a contaminated edge
+// through an unoccupied shared endpoint to the adjacent edge, iterated
+// to fixpoint.
+func contRefresh(clear, occ uint64, n int) uint64 {
+	full := uint64(1)<<uint(n) - 1
+	// Both endpoints occupied: edge e joins nodes e and e+1.
+	clear |= occ & rotR1(occ, n)
+	dirty := full &^ clear
+	for {
+		// Unoccupied endpoints of contaminated edges…
+		nodes := (dirty | rotL1(dirty, n)) &^ occ
+		// …recontaminate both of their incident edges (node u touches
+		// edges u−1 and u).
+		next := dirty | nodes | rotR1(nodes, n)
+		if next == dirty {
+			return full &^ dirty
+		}
+		dirty = next
+	}
+}
+
+// contApply records a batch of simultaneous traversals (as origin masks
+// per direction) against the post-move occupancy and returns the
+// refreshed clear mask. A robot leaving node u clockwise traverses edge
+// u; counterclockwise, edge u−1.
+func contApply(clear, movesCW, movesCCW, occAfter uint64, n int) uint64 {
+	clear |= movesCW | rotR1(movesCCW, n)
+	return contRefresh(clear, occAfter, n)
+}
