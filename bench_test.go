@@ -210,14 +210,26 @@ func BenchmarkFeasibilitySolve(b *testing.B) {
 // BenchmarkFeasibilityThroughput measures state-expansion throughput on
 // the deep (5,9) case with a fixed 2M-expansion budget per op, the
 // stable proxy for the full multi-second solve: every op performs the
-// same amount of graph work regardless of verdict.
+// same amount of graph work regardless of verdict. The quotient=off row
+// is the unquotiented differential oracle, kept on record to quantify
+// the symmetry quotient's win.
 func BenchmarkFeasibilityThroughput(b *testing.B) {
-	for _, workers := range []int{1, 0} {
-		b.Run(fmt.Sprintf("n=9/k=5/budget=2M/workers=%d", workers), func(b *testing.B) {
+	for _, tc := range []struct {
+		workers    int
+		noQuotient bool
+	}{
+		{1, false}, {0, false}, {1, true},
+	} {
+		quot := "on"
+		if tc.noQuotient {
+			quot = "off"
+		}
+		b.Run(fmt.Sprintf("n=9/k=5/budget=2M/workers=%d/quotient=%s", tc.workers, quot), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := feasibility.NewSolver(9, 5)
-				s.Workers = workers
+				s.Workers = tc.workers
 				s.MaxExpansions = 2_000_000
+				s.NoQuotient = tc.noQuotient
 				if _, err := s.Solve(); err != nil && err != feasibility.ErrBudget {
 					b.Fatal(err)
 				}

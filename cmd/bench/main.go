@@ -14,9 +14,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -30,11 +32,22 @@ import (
 )
 
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	// NsPerOp is the median over Repeats independent runs — the point
+	// estimate benchdiff compares.
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Repeats and the spread below let benchdiff separate machine noise
+	// from real regressions: a slowdown only counts when the runs'
+	// ranges are disjoint beyond the threshold. Repeats == 1 (or absent,
+	// in reports from before the field existed) disables that and falls
+	// back to comparing point estimates.
+	Repeats     int     `json:"repeats,omitempty"`
+	NsPerOpMin  float64 `json:"ns_per_op_min,omitempty"`
+	NsPerOpMax  float64 `json:"ns_per_op_max,omitempty"`
+	NsPerOpStdd float64 `json:"ns_per_op_stddev,omitempty"`
 }
 
 type report struct {
@@ -43,6 +56,7 @@ type report struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	NumCPU     int      `json:"num_cpu"`
+	Repeats    int      `json:"repeats,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
 }
 
@@ -184,13 +198,25 @@ func families() []family {
 
 	// State-expansion throughput on the deep (5,9) case: fixed
 	// 2M-expansion budget per op, so every op does identical graph work.
-	for _, workers := range []int{1, 0} {
-		workers := workers
-		add(fmt.Sprintf("FeasibilityThroughput/n=9/k=5/budget=2M/workers=%d", workers), func(b *testing.B) {
+	// The quotient=off row keeps the unquotiented oracle's cost on
+	// record, quantifying the symmetry quotient's win over time.
+	for _, tc := range []struct {
+		workers    int
+		noQuotient bool
+	}{
+		{1, false}, {0, false}, {1, true},
+	} {
+		tc := tc
+		quot := "on"
+		if tc.noQuotient {
+			quot = "off"
+		}
+		add(fmt.Sprintf("FeasibilityThroughput/n=9/k=5/budget=2M/workers=%d/quotient=%s", tc.workers, quot), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := feasibility.NewSolver(9, 5)
-				s.Workers = workers
+				s.Workers = tc.workers
 				s.MaxExpansions = 2_000_000
+				s.NoQuotient = tc.noQuotient
 				if _, err := s.Solve(); err != nil && err != feasibility.ErrBudget {
 					b.Fatal(err)
 				}
@@ -215,11 +241,64 @@ func families() []family {
 	return fams
 }
 
+// runFamily benchmarks one family `repeats` times and aggregates: the
+// reported ns/op is the median run (robust against one-off scheduler
+// hiccups), the min/max/stddev record the spread for benchdiff's
+// jitter-vs-regression call. Alloc stats are taken from the median run.
+func runFamily(f family, repeats int) result {
+	type run struct {
+		ns     float64
+		iters  int
+		allocs int64
+		bytes  int64
+	}
+	runs := make([]run, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		r := testing.Benchmark(f.fn)
+		runs = append(runs, run{
+			ns:     float64(r.T.Nanoseconds()) / float64(r.N),
+			iters:  r.N,
+			allocs: r.AllocsPerOp(),
+			bytes:  r.AllocedBytesPerOp(),
+		})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ns < runs[j].ns })
+	// Lower-middle for even counts: on shared runners noise is one-sided
+	// (slowdowns, not speedups), so the faster middle run is the better
+	// point estimate — with -repeats 2 this reports min, not max.
+	med := runs[(len(runs)-1)/2]
+	mean := 0.0
+	for _, r := range runs {
+		mean += r.ns
+	}
+	mean /= float64(len(runs))
+	variance := 0.0
+	for _, r := range runs {
+		variance += (r.ns - mean) * (r.ns - mean)
+	}
+	variance /= float64(len(runs))
+	return result{
+		Name:        f.name,
+		Iterations:  med.iters,
+		NsPerOp:     med.ns,
+		AllocsPerOp: med.allocs,
+		BytesPerOp:  med.bytes,
+		Repeats:     len(runs),
+		NsPerOpMin:  runs[0].ns,
+		NsPerOpMax:  runs[len(runs)-1].ns,
+		NsPerOpStdd: math.Sqrt(variance),
+	}
+}
+
 func main() {
 	date := time.Now().Format("2006-01-02")
 	out := flag.String("out", "BENCH_"+date+".json", "output JSON path")
 	filter := flag.String("filter", "", "only run families whose name contains this substring")
+	repeats := flag.Int("repeats", 3, "independent runs per family (median reported; min/max/stddev recorded for benchdiff's noise gate)")
 	flag.Parse()
+	if *repeats < 1 {
+		*repeats = 1
+	}
 
 	rep := report{
 		Date:      date,
@@ -227,22 +306,16 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
+		Repeats:   *repeats,
 	}
 	for _, f := range families() {
 		if *filter != "" && !strings.Contains(f.name, *filter) {
 			continue
 		}
-		r := testing.Benchmark(f.fn)
-		res := result{
-			Name:        f.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
+		res := runFamily(f, *repeats)
 		rep.Benchmarks = append(rep.Benchmarks, res)
-		fmt.Printf("%-32s %12.1f ns/op %8d allocs/op %10d B/op\n",
-			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		fmt.Printf("%-32s %12.1f ns/op %8d allocs/op %10d B/op  (±%.0f over %d runs)\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.NsPerOpStdd, res.Repeats)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -7,9 +7,14 @@
 // Benchmarks present in only one report are listed as added/removed.
 // The exit status is the regression gate: benchdiff exits nonzero when
 // any benchmark common to both reports slowed down by more than
-// -threshold (default 2×) in ns/op, which CI runs as a soft gate
-// (reported, not blocking — machine noise on shared runners can exceed
-// 2× without a real regression).
+// -threshold (default 2×) in ns/op. The gate is noise-aware: when both
+// reports carry repeat-run spreads (cmd/bench -repeats ≥ 2, recorded as
+// ns_per_op_min/max), a slowdown only counts when the runs' ranges are
+// disjoint beyond the threshold — the new benchmark's *fastest* run
+// must exceed threshold × the old benchmark's *slowest* run. Point
+// ratios that exceed the threshold inside overlapping noise bands are
+// reported as jitter, not failures. Reports without spread data fall
+// back to comparing point estimates, preserving the old behavior.
 package main
 
 import (
@@ -26,12 +31,17 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	Repeats     int     `json:"repeats,omitempty"`
+	NsPerOpMin  float64 `json:"ns_per_op_min,omitempty"`
+	NsPerOpMax  float64 `json:"ns_per_op_max,omitempty"`
+	NsPerOpStdd float64 `json:"ns_per_op_stddev,omitempty"`
 }
 
 type report struct {
 	Date       string   `json:"date"`
 	GoVersion  string   `json:"go_version"`
 	NumCPU     int      `json:"num_cpu"`
+	Repeats    int      `json:"repeats,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
 }
 
@@ -45,6 +55,15 @@ func load(path string) (report, error) {
 		return rep, fmt.Errorf("%s: %w", path, err)
 	}
 	return rep, nil
+}
+
+// spread returns the benchmark's ns/op range, degenerating to the point
+// estimate for single-run (or pre-variance-format) results.
+func spread(r result) (lo, hi float64) {
+	if r.Repeats >= 2 && r.NsPerOpMin > 0 && r.NsPerOpMax >= r.NsPerOpMin {
+		return r.NsPerOpMin, r.NsPerOpMax
+	}
+	return r.NsPerOp, r.NsPerOp
 }
 
 func main() {
@@ -71,12 +90,13 @@ func main() {
 	}
 
 	fmt.Printf("benchdiff %s (%s) -> %s (%s)\n", flag.Arg(0), oldRep.Date, flag.Arg(1), newRep.Date)
-	fmt.Printf("%-42s %14s %14s %8s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "old all/op", "new all/op")
+	fmt.Printf("%-52s %14s %14s %8s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "old all/op", "new all/op")
 	regressions := 0
+	jitter := 0
 	for _, nw := range newRep.Benchmarks {
 		old, ok := oldBy[nw.Name]
 		if !ok {
-			fmt.Printf("%-42s %14s %14.1f %8s %9s %9d  (added)\n", nw.Name, "-", nw.NsPerOp, "-", "-", nw.AllocsPerOp)
+			fmt.Printf("%-52s %14s %14.1f %8s %9s %9d  (added)\n", nw.Name, "-", nw.NsPerOp, "-", "-", nw.AllocsPerOp)
 			continue
 		}
 		delete(oldBy, nw.Name)
@@ -86,10 +106,19 @@ func main() {
 		}
 		flagStr := ""
 		if ratio > *threshold {
-			flagStr = "  << REGRESSION"
-			regressions++
+			// Conservative ratio: fastest new run vs slowest old run.
+			// Only a slowdown that survives both spreads is a regression.
+			_, oldHi := spread(old)
+			newLo, _ := spread(nw)
+			if oldHi > 0 && newLo/oldHi > *threshold {
+				flagStr = "  << REGRESSION"
+				regressions++
+			} else {
+				flagStr = "  (jitter: spreads overlap)"
+				jitter++
+			}
 		}
-		fmt.Printf("%-42s %14.1f %14.1f %7.2fx %9d %9d%s\n",
+		fmt.Printf("%-52s %14.1f %14.1f %7.2fx %9d %9d%s\n",
 			nw.Name, old.NsPerOp, nw.NsPerOp, ratio, old.AllocsPerOp, nw.AllocsPerOp, flagStr)
 	}
 	removed := make([]string, 0, len(oldBy))
@@ -99,7 +128,10 @@ func main() {
 	sort.Strings(removed)
 	for _, name := range removed {
 		old := oldBy[name]
-		fmt.Printf("%-42s %14.1f %14s %8s %9d %9s  (removed)\n", name, old.NsPerOp, "-", "-", old.AllocsPerOp, "-")
+		fmt.Printf("%-52s %14.1f %14s %8s %9d %9s  (removed)\n", name, old.NsPerOp, "-", "-", old.AllocsPerOp, "-")
+	}
+	if jitter > 0 {
+		fmt.Printf("%d benchmark(s) beyond %.2fx on point estimates but within run spread (not failed)\n", jitter, *threshold)
 	}
 	if regressions > 0 {
 		fmt.Printf("%d benchmark(s) regressed beyond %.2fx\n", regressions, *threshold)

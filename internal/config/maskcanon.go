@@ -1,0 +1,131 @@
+package config
+
+import "math/bits"
+
+// This file extends the Booth least-rotation kernel of canon.go to
+// packed node bitmasks: a configuration's occupied set (and, in the
+// feasibility solver, every 192-bit game state built on it) fits one
+// uint64 for n ≤ 64, so the dihedral canonicalization that classifies
+// interval cycles can run directly on the word — no interval-cycle
+// materialization, no scratch slices. The feasibility searcher uses
+// these kernels to quotient its interned frontier by the 2n ring
+// isometries (see internal/feasibility/quotient.go).
+//
+// Conventions: bit u of a mask is node u of the ring; rotating a mask
+// up by r applies the isometry u ↦ (u+r) mod n; reflecting applies
+// u ↦ (n−u) mod n. A mask is compared to another bit-lexicographically
+// — bit 0 first, 0 < 1 — matching the element order Booth's algorithm
+// uses on the underlying bit string.
+
+// MaskRotate rotates an n-bit mask up by r (bit u of the result is bit
+// (u−r) mod n of m): the image of m under the rotation u ↦ u+r. m must
+// have no bits at or above position n, and 0 ≤ r < n.
+func MaskRotate(m uint64, r, n int) uint64 {
+	if r == 0 {
+		return m
+	}
+	return (m<<uint(r) | m>>(uint(n)-uint(r))) & (uint64(1)<<uint(n) - 1)
+}
+
+// MaskReflect returns the image of an n-bit mask under the reflection
+// u ↦ (n−u) mod n (the axis through node 0).
+func MaskReflect(m uint64, n int) uint64 {
+	// Bit 0 is fixed; bits 1..n−1 reverse among themselves.
+	rest := m >> 1 // bit u ≥ 1 at position u−1
+	rev := bits.Reverse64(rest) >> (64 - uint(n-1))
+	return m&1 | rev<<1
+}
+
+// MaskLeastRotationStart returns the start index s minimizing the
+// bit-string rotation (b_s, b_{s+1}, …, b_{s+n−1}) of the n-bit mask m
+// lexicographically — Booth's algorithm specialized to bits, reading
+// the word directly instead of an []int cycle. The canonical rotation
+// image is then MaskRotate(m, (n−s) mod n, n), which carries that least
+// reading in bits 0..n−1.
+func MaskLeastRotationStart(m uint64, n int) int {
+	if n <= 1 || m == 0 || m == uint64(1)<<uint(n)-1 {
+		return 0
+	}
+	bit := func(i int) uint64 {
+		return (m >> uint(i%n)) & 1
+	}
+	// Failure buffer over the doubled string: 2n ≤ 128 entries on the
+	// stack (no allocation), int16 since values < 2n can exceed int8 for
+	// the full n ≤ 64 mask range.
+	var f [128]int16
+	for i := 0; i < 2*n; i++ {
+		f[i] = -1
+	}
+	k := 0
+	for j := 1; j < 2*n; j++ {
+		sj := bit(j)
+		i := f[j-k-1]
+		for i != -1 && sj != bit(k+int(i)+1) {
+			if sj < bit(k+int(i)+1) {
+				k = j - int(i) - 1
+			}
+			i = f[i]
+		}
+		if i == -1 && sj != bit(k) {
+			if sj < bit(k) {
+				k = j
+			}
+			f[j-k] = -1
+		} else {
+			f[j-k] = i + 1
+		}
+	}
+	if k >= n {
+		k -= n
+	}
+	return k
+}
+
+// MaskPeriod returns the smallest d ≥ 1 with MaskRotate(m, d, n) == m.
+// It always divides n; d == n means only the trivial full rotation
+// fixes the mask. The rotations mapping m onto its canonical image are
+// exactly the canonical one shifted by multiples of the period — the
+// bitmask analogue of canonData.anchors.
+func MaskPeriod(m uint64, n int) int {
+	for d := 1; d < n; d++ {
+		if n%d == 0 && MaskRotate(m, d, n) == m {
+			return d
+		}
+	}
+	return n
+}
+
+// MaskLexLess orders n-bit masks by their bit strings read from bit 0
+// (0 < 1) — the order under which each Booth image is minimal over its
+// rotation class. Distinct from numeric uint64 order, which reads the
+// highest bit first.
+func MaskLexLess(a, b uint64) bool {
+	diff := a ^ b
+	if diff == 0 {
+		return false
+	}
+	return a&(diff&-diff) == 0
+}
+
+// MaskCanon returns the canonical dihedral image of an n-bit mask — the
+// bit-lexicographically least mask among the 2n rotation and reflection
+// images — together with one isometry (rotation r, reflect first or
+// not) realizing it: canon == MaskRotate(refl ? MaskReflect(m,n) : m,
+// r, n). When several isometries realize the image (symmetric or
+// periodic masks), the unreflected orientation is preferred and the
+// reported rotation is Booth's deterministic representative; the full
+// set is the reported rotation shifted by multiples of MaskPeriod, in
+// both orientations when the two orientation images coincide.
+func MaskCanon(m uint64, n int) (canon uint64, r int, refl bool) {
+	sF := MaskLeastRotationStart(m, n)
+	rF := (n - sF) % n
+	imgF := MaskRotate(m, rF, n)
+	rv := MaskReflect(m, n)
+	sR := MaskLeastRotationStart(rv, n)
+	rR := (n - sR) % n
+	imgR := MaskRotate(rv, rR, n)
+	if MaskLexLess(imgR, imgF) {
+		return imgR, rR, true
+	}
+	return imgF, rF, false
+}

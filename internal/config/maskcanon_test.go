@@ -1,0 +1,164 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteMaskCanon recomputes the canonical dihedral image by trying all
+// 2n isometries explicitly.
+func bruteMaskCanon(m uint64, n int) uint64 {
+	best := m
+	for _, base := range []uint64{m, MaskReflect(m, n)} {
+		for r := 0; r < n; r++ {
+			img := MaskRotate(base, r, n)
+			if MaskLexLess(img, best) {
+				best = img
+			}
+		}
+	}
+	return best
+}
+
+func randomMasks(rng *rand.Rand, n, count int) []uint64 {
+	full := uint64(1)<<uint(n) - 1
+	ms := []uint64{0, 1, full, full >> 1}
+	for len(ms) < count {
+		ms = append(ms, rng.Uint64()&full)
+	}
+	return ms
+}
+
+func TestMaskReflectInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 2; n <= 64; n++ {
+		for _, m := range randomMasks(rng, n, 24) {
+			if got := MaskReflect(MaskReflect(m, n), n); got != m {
+				t.Fatalf("n=%d m=%b: reflect twice = %b", n, m, got)
+			}
+			// Reflection maps node u to (n−u) mod n.
+			want := uint64(0)
+			for u := 0; u < n; u++ {
+				if m&(1<<uint(u)) != 0 {
+					want |= 1 << uint((n-u)%n)
+				}
+			}
+			if got := MaskReflect(m, n); got != want {
+				t.Fatalf("n=%d m=%b: reflect = %b, want %b", n, m, got, want)
+			}
+		}
+	}
+}
+
+func TestMaskLeastRotationAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for n := 1; n <= 64; n++ {
+		for _, m := range randomMasks(rng, n, 24) {
+			s := MaskLeastRotationStart(m, n)
+			img := MaskRotate(m, (n-s)%n, n)
+			for r := 0; r < n; r++ {
+				if other := MaskRotate(m, r, n); MaskLexLess(other, img) {
+					t.Fatalf("n=%d m=%b: start %d image %b beaten by rotation %d = %b",
+						n, m, s, img, r, other)
+				}
+			}
+		}
+	}
+}
+
+func TestMaskCanonAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for n := 2; n <= 64; n++ {
+		for _, m := range randomMasks(rng, n, 24) {
+			canon, r, refl := MaskCanon(m, n)
+			if want := bruteMaskCanon(m, n); canon != want {
+				t.Fatalf("n=%d m=%b: canon %b, brute %b", n, m, canon, want)
+			}
+			base := m
+			if refl {
+				base = MaskReflect(m, n)
+			}
+			if got := MaskRotate(base, r, n); got != canon {
+				t.Fatalf("n=%d m=%b: reported isometry (r=%d refl=%v) gives %b, canon %b",
+					n, m, r, refl, got, canon)
+			}
+		}
+	}
+}
+
+func TestMaskCanonInvariantOnOrbit(t *testing.T) {
+	// Every dihedral image of a mask must canonicalize to the same word.
+	rng := rand.New(rand.NewSource(24))
+	for n := 2; n <= 33; n++ {
+		for _, m := range randomMasks(rng, n, 12) {
+			canon, _, _ := MaskCanon(m, n)
+			for _, base := range []uint64{m, MaskReflect(m, n)} {
+				for r := 0; r < n; r++ {
+					img := MaskRotate(base, r, n)
+					c2, _, _ := MaskCanon(img, n)
+					if c2 != canon {
+						t.Fatalf("n=%d m=%b image %b: canon %b != orbit canon %b", n, m, img, c2, canon)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaskPeriodDividesAndFixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for n := 1; n <= 64; n++ {
+		for _, m := range randomMasks(rng, n, 16) {
+			p := MaskPeriod(m, n)
+			if p < 1 || n%p != 0 {
+				t.Fatalf("n=%d m=%b: period %d does not divide n", n, m, p)
+			}
+			if MaskRotate(m, p%n, n) != m && p != n {
+				t.Fatalf("n=%d m=%b: rotation by period %d moves the mask", n, m, p)
+			}
+			for d := 1; d < p; d++ {
+				if MaskRotate(m, d, n) == m {
+					t.Fatalf("n=%d m=%b: rotation %d < period %d fixes the mask", n, m, d, p)
+				}
+			}
+		}
+	}
+}
+
+// TestMaskCanonMatchesConfigCanonKey ties the bitmask kernel to the
+// interval-cycle canonicalization: two occupied masks are dihedral
+// images of one another iff their configurations share a CanonKey, and
+// that must coincide with MaskCanon equality.
+func TestMaskCanonMatchesConfigCanonKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	toConfig := func(m uint64, n int) Config {
+		nodes := make([]int, 0, n)
+		for u := 0; u < n; u++ {
+			if m&(1<<uint(u)) != 0 {
+				nodes = append(nodes, u)
+			}
+		}
+		return MustNew(n, nodes...)
+	}
+	for n := 3; n <= 16; n++ {
+		masks := make([]uint64, 0, 40)
+		for len(masks) < 40 {
+			m := rng.Uint64() & (uint64(1)<<uint(n) - 1)
+			if m != 0 && m != uint64(1)<<uint(n)-1 {
+				masks = append(masks, m)
+			}
+		}
+		for i, a := range masks {
+			ca, _, _ := MaskCanon(a, n)
+			for _, b := range masks[i:] {
+				cb, _, _ := MaskCanon(b, n)
+				sameMask := ca == cb
+				sameKey := toConfig(a, n).CanonKey() == toConfig(b, n).CanonKey()
+				if sameMask != sameKey {
+					t.Fatalf("n=%d a=%b b=%b: MaskCanon equal=%v, CanonKey equal=%v",
+						n, a, b, sameMask, sameKey)
+				}
+			}
+		}
+	}
+}

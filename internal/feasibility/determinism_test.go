@@ -32,11 +32,17 @@ func survivorHolds(s *Solver, tier int, tab Table) bool {
 
 func solveWorkers(t *testing.T, n, k, workers int) Result {
 	t.Helper()
+	return solveWorkersMode(t, n, k, workers, false)
+}
+
+func solveWorkersMode(t *testing.T, n, k, workers int, noQuotient bool) Result {
+	t.Helper()
 	s := NewSolver(n, k)
 	s.Workers = workers
+	s.NoQuotient = noQuotient
 	res, err := s.Solve()
 	if err != nil {
-		t.Fatalf("(k=%d,n=%d) workers=%d: %v", k, n, workers, err)
+		t.Fatalf("(k=%d,n=%d) workers=%d noQuotient=%v: %v", k, n, workers, noQuotient, err)
 	}
 	return res
 }
@@ -47,7 +53,9 @@ func solveWorkers(t *testing.T, n, k, workers int) Result {
 // (identical TablesExplored), and that any reported survivor table
 // independently survives re-analysis — survivor behavior must not
 // depend on how many branches a particular schedule happened to explore
-// before fail-fast cancellation.
+// before fail-fast cancellation. The default mode is the
+// symmetry-quotiented searcher; TestSolveDeterministicOracleMode covers
+// the unquotiented oracle.
 func TestSolveDeterministicAcrossWorkers(t *testing.T) {
 	cases := []struct{ n, k int }{
 		{3, 1}, {5, 1}, {4, 2}, {6, 2}, {5, 3}, {6, 3}, {7, 3},
@@ -86,6 +94,30 @@ func TestSolveDeterministicAcrossWorkers(t *testing.T) {
 			if res.SurvivorTable != nil && !survivorHolds(NewSolver(tc.n, tc.k), res.Tier, res.SurvivorTable) {
 				t.Errorf("(k=%d,n=%d): reported survivor table does not survive re-analysis", tc.k, tc.n)
 			}
+		}
+	}
+}
+
+// TestSolveDeterministicOracleMode pins the unquotiented oracle to the
+// same worker-count determinism contract as the default mode: the
+// differential tests in quotient_test.go are only meaningful if both
+// sides are individually schedule-independent.
+func TestSolveDeterministicOracleMode(t *testing.T) {
+	cases := []struct{ n, k int }{{5, 1}, {6, 2}, {7, 3}, {6, 4}, {7, 4}, {8, 5}}
+	parallel := 4
+	if p := runtime.GOMAXPROCS(0); p > parallel {
+		parallel = p
+	}
+	for _, tc := range cases {
+		seq := solveWorkersMode(t, tc.n, tc.k, 1, true)
+		seq2 := solveWorkersMode(t, tc.n, tc.k, 1, true)
+		par := solveWorkersMode(t, tc.n, tc.k, parallel, true)
+		if seq.Impossible != seq2.Impossible || seq.Tier != seq2.Tier ||
+			seq.TablesExplored != seq2.TablesExplored {
+			t.Errorf("(k=%d,n=%d) oracle: sequential runs disagree: %+v vs %+v", tc.k, tc.n, seq, seq2)
+		}
+		if par.Impossible != seq.Impossible || par.Tier != seq.Tier {
+			t.Errorf("(k=%d,n=%d) oracle: verdict/tier differs across worker counts", tc.k, tc.n)
 		}
 	}
 }

@@ -131,7 +131,10 @@ const obsCacheShards = 64
 // obsCache memoizes obsSet per occupied mask across all table branches
 // of a Solve, sharded to keep contention negligible under the worker
 // pool. Duplicated computation on a racing miss is benign (the value is
-// deterministic).
+// deterministic). Under the symmetry quotient every lookup arrives in
+// canonical frame, so the cache holds one entry per configuration class
+// — the same dihedral reduction as the interned frontier — instead of
+// one per node labeling.
 type obsCache struct {
 	n      int
 	shards [obsCacheShards]struct {
@@ -216,13 +219,21 @@ type tierSearch struct {
 	pendingLimit  int
 	maxExpansions int64
 	maxCycleLen   int
-	starts        []state
-	obs           *obsCache
-	queue         *workQueue
+	// quotient interns states canonically under the ring's 2n dihedral
+	// isometries (quotient.go); when set, every mask reaching the shared
+	// obsCache below is already in canonical frame, so the cache holds
+	// one entry per configuration class instead of one per labeling.
+	quotient bool
+	starts   []state
+	obs      *obsCache
+	queue    *workQueue
 
 	expansions atomic.Int64
 	tables     atomic.Int64
-	stop       atomic.Bool
+	// statesInterned accumulates the per-branch interned-graph sizes —
+	// the quotient's compression is measured by this counter.
+	statesInterned atomic.Int64
+	stop           atomic.Bool
 
 	mu       sync.Mutex
 	survivor Table

@@ -1,0 +1,235 @@
+package feasibility
+
+import (
+	"math/bits"
+
+	"ringrobots/internal/config"
+)
+
+// This file implements the symmetry quotient of the searcher's state
+// graph. The game of §4.2 is played on an anonymous, unoriented ring,
+// so every reachable position is equivalent to its 2n dihedral images:
+// observations, legal-decision masks and win conditions are all
+// invariant under rotating or reflecting the node labels. The searcher
+// therefore canonicalizes every 192-bit state under the dihedral group
+// before interning (config's bitmask Booth kernel on the occupied word,
+// pending register as tie-break), shrinking the per-branch graph by up
+// to 2n× — the frontier-compression follow-up of PR 2.
+//
+// The price is bookkeeping: an edge's activation and move bitmasks
+// live in its *source's* canonical frame, and its target was renamed by
+// the isometry that canonicalized it. Every edge therefore records that
+// isometry, and the lasso checks (cycleIsFairAndBad) compose the
+// records to lift a quotient cycle back to a genuine execution of the
+// unquotiented game — see searcher.go.
+
+// isom is a packed ring isometry: bits 0..4 the rotation r, bit 5 the
+// reflection flag. It acts on node labels as u ↦ (u+r) mod n without
+// the flag and u ↦ (r−u) mod n with it (reflect through node 0, then
+// rotate by r). The zero value is the identity.
+type isom uint8
+
+const isoIdentity isom = 0
+
+const isoReflectBit = 1 << 5
+
+func isoOf(rot int, refl bool) isom {
+	g := isom(rot)
+	if refl {
+		g |= isoReflectBit
+	}
+	return g
+}
+
+func (g isom) rot() int   { return int(g &^ isoReflectBit) }
+func (g isom) refl() bool { return g&isoReflectBit != 0 }
+
+// compose returns g∘h: apply h, then g.
+func (g isom) compose(h isom, n int) isom {
+	r := g.rot()
+	if g.refl() {
+		r -= h.rot()
+	} else {
+		r += h.rot()
+	}
+	r %= n
+	if r < 0 {
+		r += n
+	}
+	return isoOf(r, g.refl() != h.refl())
+}
+
+// inverse returns the isometry undoing g. Reflections are involutions;
+// a rotation inverts to its complement.
+func (g isom) inverse(n int) isom {
+	if g.refl() {
+		return g
+	}
+	return isoOf((n-g.rot())%n, false)
+}
+
+// node applies g to a node label.
+func (g isom) node(u, n int) int {
+	if g.refl() {
+		v := (g.rot() - u) % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	return (u + g.rot()) % n
+}
+
+// nodeMask applies g to a node bitmask.
+func (g isom) nodeMask(m uint64, n int) uint64 {
+	if g.refl() {
+		return config.MaskRotate(config.MaskReflect(m, n), g.rot(), n)
+	}
+	return config.MaskRotate(m, g.rot(), n)
+}
+
+// edgeMask applies g to an edge bitmask. Edge e joins nodes e and e+1,
+// so a rotation shifts edges like nodes, while the reflection u ↦ r−u
+// sends edge e = {e, e+1} to {r−e−1, r−e} = edge (r−1−e) mod n.
+func (g isom) edgeMask(m uint64, n int) uint64 {
+	if g.refl() {
+		return config.MaskRotate(config.MaskReflect(m, n), (g.rot()+n-1)%n, n)
+	}
+	return config.MaskRotate(m, g.rot(), n)
+}
+
+// moveMasks applies g to a (CW origins, CCW origins) traversal pair.
+// Reflections reverse the ring's orientation, so the directions swap.
+func (g isom) moveMasks(mcw, mccw uint64, n int) (uint64, uint64) {
+	if g.refl() {
+		return g.nodeMask(mccw, n), g.nodeMask(mcw, n)
+	}
+	return g.nodeMask(mcw, n), g.nodeMask(mccw, n)
+}
+
+// order returns the smallest m ≥ 1 with g^m = identity: 2 for every
+// reflection, n/gcd(n,r) for a rotation by r.
+func (g isom) order(n int) int {
+	if g.refl() {
+		return 2
+	}
+	r := g.rot()
+	if r == 0 {
+		return 1
+	}
+	return n / gcd(n, r)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// apply maps a whole game state through g: the occupied mask directly,
+// the pending register pair by pair (directions flip under reflection).
+func (g isom) apply(s state, n int) state {
+	out := state{occupied: g.nodeMask(s.occupied, n)}
+	for p := s.pending[0]; p != 0; {
+		b := bits.TrailingZeros64(p)
+		u := b >> 1
+		code := (s.pending[0] >> uint(2*u)) & 3
+		p &^= 3 << uint(2*u)
+		if g.refl() {
+			code ^= 3 // 1 (cw) ↔ 2 (ccw)
+		}
+		out.pending[0] |= code << uint(2*g.node(u, n))
+	}
+	return out
+}
+
+// pendingLess orders pending registers (for the canonical tie-break).
+func pendingLess(a, b [2]uint64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// occCanon is the memoizable part of a state's canonicalization: the
+// canonical image of the occupied mask, the Booth representatives per
+// orientation, which orientations realize the image, and the mask's
+// rotational period (which generates the remaining realizers). One
+// occCanon serves every pending register over the same occupancy.
+type occCanon struct {
+	canon    uint64
+	rF, rR   uint8
+	fwd, rev bool
+	period   uint8
+}
+
+// computeOccCanon runs the bitmask Booth kernel on an occupied mask.
+func computeOccCanon(occ uint64, n int) occCanon {
+	sF := config.MaskLeastRotationStart(occ, n)
+	rF := (n - sF) % n
+	imgF := config.MaskRotate(occ, rF, n)
+	rv := config.MaskReflect(occ, n)
+	sR := config.MaskLeastRotationStart(rv, n)
+	rR := (n - sR) % n
+	imgR := config.MaskRotate(rv, rR, n)
+	oc := occCanon{
+		rF:     uint8(rF),
+		rR:     uint8(rR),
+		fwd:    !config.MaskLexLess(imgR, imgF),
+		rev:    !config.MaskLexLess(imgF, imgR),
+		period: uint8(config.MaskPeriod(occ, n)),
+	}
+	oc.canon = imgF
+	if !oc.fwd {
+		oc.canon = imgR
+	}
+	return oc
+}
+
+// canonicalize maps a state over this occupancy onto the class
+// representative. Among the isometries realizing the canonical occupied
+// image (several only for symmetric or periodic occupancies) the
+// minimal transformed pending register breaks the tie, so equal-class
+// states collapse to one representative even mid-Look.
+func (oc *occCanon) canonicalize(s state, n int) (state, isom) {
+	if !s.anyPending() {
+		// The state is its occupied mask; any realizing isometry works
+		// and the deterministic preference is unreflected first.
+		if oc.fwd {
+			return state{occupied: oc.canon}, isoOf(int(oc.rF), false)
+		}
+		return state{occupied: oc.canon}, isoOf(int(oc.rR), true)
+	}
+	p := int(oc.period)
+	var best state
+	var bestIso isom
+	first := true
+	try := func(g isom) {
+		cand := g.apply(s, n)
+		if first || pendingLess(cand.pending, best.pending) {
+			best, bestIso, first = cand, g, false
+		}
+	}
+	if oc.fwd {
+		for r := int(oc.rF) % p; r < n; r += p {
+			try(isoOf(r, false))
+		}
+	}
+	if oc.rev {
+		for r := int(oc.rR) % p; r < n; r += p {
+			try(isoOf(r, true))
+		}
+	}
+	return best, bestIso
+}
+
+// canonState returns the canonical representative of s under the 2n
+// ring isometries and the isometry g with g(s) = canonical. The
+// searcher's hot path goes through its per-worker cache instead
+// (searcher.canonState); this entry point serves start-state
+// canonicalization and the tests.
+func canonState(s state, n int) (state, isom) {
+	oc := computeOccCanon(s.occupied, n)
+	return oc.canonicalize(s, n)
+}

@@ -28,6 +28,12 @@ type edge struct {
 	// robot cycle without movement). Stay edges are self-loops; they are
 	// excluded from cycle search and re-inserted by the fairness check.
 	stay bool
+	// iso is the isometry that canonicalized the target state under the
+	// symmetry quotient: iso(post-move state in the source's frame) is
+	// states[to]. Identity when quotienting is off. acts and the move
+	// masks below stay in the source's frame; the lasso checks compose
+	// iso records to lift quotient cycles back to real executions.
+	iso isom
 	// acts is the bitmask of nodes whose robots were activated or moved.
 	acts uint64
 	// movesCW/movesCCW are the origin bitmasks of traversals executed by
@@ -55,6 +61,14 @@ type tarFrame struct {
 	edge int32
 }
 
+// cycleVisit is one lifted step of a candidate starvation loop: the
+// canonical state visited and the accumulated isometry mapping its
+// frame into the loop head's (lift) frame.
+type cycleVisit struct {
+	id int32
+	v  isom
+}
+
 // searcher is one worker's search engine: the materialized table of the
 // branch under analysis, the state-interning tables (state → dense id
 // with slice-backed adjacency, replacing the former per-branch
@@ -64,6 +78,9 @@ type searcher struct {
 	ts           *tierSearch
 	n            int
 	pendingLimit int
+	// quotient interns states canonically under the 2n ring isometries
+	// (see quotient.go); off, the searcher is the unquotiented oracle.
+	quotient bool
 
 	// table is the current branch's decision table, rebuilt from the
 	// copy-on-write chain once per analyze.
@@ -82,6 +99,13 @@ type searcher struct {
 	// legal-decision masks.
 	needed map[ObsKey]uint8
 
+	// canonCache memoizes the occupied-mask half of state
+	// canonicalization per worker: at most C(n,k) distinct masks exist
+	// per tier, so after warmup every edgeTo canonicalization is one map
+	// hit plus (under pending tiers) a tiny tie-break. Lock-free by
+	// being worker-local; it persists across the worker's branches.
+	canonCache map[uint64]occCanon
+
 	// Tarjan scratch.
 	scc      []int32
 	compSize []int32
@@ -99,8 +123,9 @@ type searcher struct {
 	visitEpoch uint64
 	path       []edge
 	cycle      []edge
-	cycleIDs   []int32
+	visits     []cycleVisit
 	maskSeen   []uint64
+	isoSeen    []isom
 	passClear  []bool
 
 	// Group-activation scratch.
@@ -116,11 +141,25 @@ func newSearcher(ts *tierSearch) *searcher {
 		ts:           ts,
 		n:            ts.n,
 		pendingLimit: ts.pendingLimit,
+		quotient:     ts.quotient,
 		table:        make(Table, 64),
 		ids:          make(map[state]int32, 1<<10),
 		needed:       make(map[ObsKey]uint8, 64),
+		canonCache:   make(map[uint64]occCanon, 1<<8),
 		dirs:         make([]ring.Direction, ts.k),
 	}
+}
+
+// canonState is the cached hot-path variant of the package-level
+// canonState: the Booth kernel runs once per distinct occupied mask per
+// worker.
+func (w *searcher) canonState(s state) (state, isom) {
+	oc, ok := w.canonCache[s.occupied]
+	if !ok {
+		oc = computeOccCanon(s.occupied, w.n)
+		w.canonCache[s.occupied] = oc
+	}
+	return oc.canonicalize(s, w.n)
 }
 
 // process analyzes one table branch: a win closes the subtree, a
@@ -136,6 +175,7 @@ func (w *searcher) process(nd *tableNode) {
 	w.ts.tables.Add(1)
 	nd.materializeInto(w.table)
 	win, needed, legal, err := w.analyze()
+	w.ts.statesInterned.Add(int64(len(w.states)))
 	if err != nil {
 		if err != errStopped {
 			w.ts.fail(err)
@@ -214,6 +254,9 @@ func (w *searcher) analyze() (win bool, neededObs ObsKey, legal uint8, err error
 	full := uint64(1)<<uint(w.n) - 1
 
 	for _, st := range w.ts.starts {
+		if w.quotient {
+			st, _ = w.canonState(st)
+		}
 		if _, ok := w.ids[st]; ok {
 			continue
 		}
@@ -284,21 +327,33 @@ func (w *searcher) analyze() (win bool, neededObs ObsKey, legal uint8, err error
 }
 
 // edgeTo interns the target state of an edge, deriving its stem
-// contamination from the source state's on first discovery.
-func (w *searcher) edgeTo(from int32, next state, movesCW, movesCCW uint64) int32 {
-	if id, ok := w.ids[next]; ok {
-		return id
+// contamination from the source state's on first discovery. Under the
+// symmetry quotient the target is canonicalized first; the returned
+// isometry maps the source-frame post-move state onto the interned
+// representative (identity when quotienting is off) and must be
+// recorded on the edge.
+func (w *searcher) edgeTo(from int32, next state, movesCW, movesCCW uint64) (int32, isom) {
+	g := isoIdentity
+	can := next
+	if w.quotient {
+		can, g = w.canonState(next)
+	}
+	if id, ok := w.ids[can]; ok {
+		return id, g
 	}
 	cm := w.cont[from]
 	if movesCW|movesCCW != 0 {
 		cm = contApply(cm, movesCW, movesCCW, next.occupied, w.n)
 	}
+	if g != isoIdentity {
+		cm = g.edgeMask(cm, w.n)
+	}
 	id := int32(len(w.states))
-	w.ids[next] = id
-	w.states = append(w.states, next)
+	w.ids[can] = id
+	w.states = append(w.states, can)
 	w.cont = append(w.cont, cm)
 	w.info = append(w.info, nodeInfo{})
-	return id
+	return id, g
 }
 
 // expand lists the adversary's options at a state into the edge arena.
@@ -332,8 +387,9 @@ func (w *searcher) expand(id int32) (collision bool) {
 			} else {
 				mccw = 1 << uint(u)
 			}
+			tid, g := w.edgeTo(id, next, mcw, mccw)
 			w.edges = append(w.edges, edge{
-				to: w.edgeTo(id, next, mcw, mccw), acts: 1 << uint(u), movesCW: mcw, movesCCW: mccw,
+				to: tid, iso: g, acts: 1 << uint(u), movesCW: mcw, movesCCW: mccw,
 			})
 		}
 	}
@@ -372,15 +428,17 @@ func (w *searcher) expand(id int32) (collision bool) {
 			} else {
 				mccw = 1 << uint(oi.node)
 			}
+			tid, g := w.edgeTo(id, next, mcw, mccw)
 			w.edges = append(w.edges, edge{
-				to: w.edgeTo(id, next, mcw, mccw), acts: 1 << uint(oi.node), movesCW: mcw, movesCCW: mccw,
+				to: tid, iso: g, acts: 1 << uint(oi.node), movesCW: mcw, movesCCW: mccw,
 			})
 		}
 		// Split Look (pending created, move later) when the tier allows.
 		if pendingCount < w.pendingLimit {
 			for j := 0; j < nd; j++ {
 				next := st.withPending(oi.node, dirs[j])
-				w.edges = append(w.edges, edge{to: w.edgeTo(id, next, 0, 0), acts: 1 << uint(oi.node)})
+				tid, g := w.edgeTo(id, next, 0, 0)
+				w.edges = append(w.edges, edge{to: tid, iso: g, acts: 1 << uint(oi.node)})
 			}
 		}
 	}
@@ -474,8 +532,9 @@ func (w *searcher) applyGroupMove(id int32, st state) (collision bool) {
 	}
 	next := st
 	next.occupied = standing | targets
+	to, g := w.edgeTo(id, next, mcw, mccw)
 	w.edges = append(w.edges, edge{
-		to: w.edgeTo(id, next, mcw, mccw), acts: origins, movesCW: mcw, movesCCW: mccw,
+		to: to, iso: g, acts: origins, movesCW: mcw, movesCCW: mccw,
 	})
 	return false
 }
@@ -566,10 +625,26 @@ func (w *searcher) computeSCCs() {
 		}
 	}
 	for i := 0; i < nStates; i++ {
-		if w.compSize[w.scc[i]] < 2 {
+		if w.compSize[w.scc[i]] < 2 && !w.hasMoveSelfLoop(int32(i)) {
 			w.scc[i] = -1
 		}
 	}
+}
+
+// hasMoveSelfLoop reports whether a state has a non-stay edge to
+// itself. Raw states can never self-loop (every move changes occupancy
+// or pending), but under the symmetry quotient an isometric successor
+// collapses onto its source — a real one-step cycle that the
+// single-state-component filter must not discard (the k = 1 rings are
+// the extreme case: the whole orbit is one canonical state).
+func (w *searcher) hasMoveSelfLoop(id int32) bool {
+	ni := &w.info[id]
+	for x := int32(0); x < ni.edgeLen; x++ {
+		if e := &w.edges[ni.edgeOff+x]; !e.stay && e.to == id {
+			return true
+		}
+	}
+	return false
 }
 
 // findBadCycle searches for a loop through the head state that is fair
@@ -600,7 +675,11 @@ func (w *searcher) dfsCycle(cur, target, comp int32, lengthCap int) (bool, error
 		if e.to == target {
 			w.cycle = append(w.cycle[:0], w.path...)
 			w.cycle = append(w.cycle, e)
-			if w.cycleIsFairAndBad(target) {
+			bad, err := w.cycleIsFairAndBad(target)
+			if err != nil {
+				return false, err
+			}
+			if bad {
 				return true, nil
 			}
 			continue
@@ -621,77 +700,114 @@ func (w *searcher) dfsCycle(cur, target, comp int32, lengthCap int) (bool, error
 
 // cycleIsFairAndBad checks the winning conditions on the candidate loop
 // in w.cycle anchored at head, with contamination entering the loop as
-// in the head's stem.
-func (w *searcher) cycleIsFairAndBad(head int32) bool {
-	// --- Fairness ---
+// in the head's stem. Under the symmetry quotient a loop of canonical
+// states is a real execution only after lifting: composing the edges'
+// isometries yields the net relabeling ψ one pass applies, and the true
+// cycle closes after order(ψ) passes. The checks below run on that lift
+// — with quotienting off every isometry is the identity, ψ = id, and
+// they reduce to the plain single-pass checks. Each fairness and
+// contamination pass is charged to the shared expansion budget: the
+// passes dominate the cost of deep lasso hunts, and leaving them free
+// let pathological loops exceed the budget's intent (PR 2 follow-up).
+func (w *searcher) cycleIsFairAndBad(head int32) (bool, error) {
+	// Net isometry of one pass: each edge maps its source frame onto its
+	// target's canonical frame, so walking the loop in the head's (lift)
+	// frame composes the inverses.
+	psi := isoIdentity
+	for i := range w.cycle {
+		psi = psi.compose(w.cycle[i].iso.inverse(w.n), w.n)
+	}
+
+	// --- Fairness over the lifted cycle (order(ψ) quotient passes) ---
 	st := w.states[head]
 	acted := uint64(0)
 	stationary := st.occupied
-	w.cycleIDs = append(w.cycleIDs[:0], head)
-	for i := range w.cycle {
-		e := &w.cycle[i]
-		acted |= e.acts
-		stationary &= w.states[e.to].occupied
-		w.cycleIDs = append(w.cycleIDs, e.to)
+	w.visits = append(w.visits[:0], cycleVisit{id: head, v: isoIdentity})
+	v := isoIdentity
+	for pass := psi.order(w.n); pass > 0; pass-- {
+		if err := w.checkAbort(); err != nil {
+			return false, err
+		}
+		for i := range w.cycle {
+			e := &w.cycle[i]
+			acted |= v.nodeMask(e.acts, w.n)
+			v = v.compose(e.iso.inverse(w.n), w.n)
+			stationary &= v.nodeMask(w.states[e.to].occupied, w.n)
+			w.visits = append(w.visits, cycleVisit{id: e.to, v: v})
+		}
 	}
 	for rest := stationary &^ acted; rest != 0; rest &= rest - 1 {
 		u := bits.TrailingZeros64(rest)
 		if _, hasPending := st.pendingAt(u); hasPending {
 			// A pending move held forever violates the model's
 			// finite-cycle requirement: unfair.
-			return false
+			return false, nil
 		}
 		canStay := false
-		for _, id := range w.cycleIDs {
-			sv := w.states[id]
-			if _, p := sv.pendingAt(u); p {
+		for _, vis := range w.visits {
+			sv := w.states[vis.id]
+			// u lives in the lift frame; the visited state's data is in
+			// its canonical frame.
+			uc := vis.v.inverse(w.n).node(u, w.n)
+			if _, p := sv.pendingAt(uc); p {
 				continue
 			}
-			if w.info[id].stayable&(1<<uint(u)) != 0 {
+			if w.info[vis.id].stayable&(1<<uint(uc)) != 0 {
 				canStay = true
 				break
 			}
 		}
 		if !canStay {
-			return false
+			return false, nil
 		}
 	}
 
-	// --- Badness: iterate the loop from the stem contamination until the
-	// contamination state at the loop head repeats; if no pass in the
-	// repeating regime touches all-clear, the adversary wins. ---
+	// --- Badness: iterate the lifted loop from the stem contamination
+	// until the (contamination, relabeling) pair at the loop head
+	// repeats; if no pass in the repeating regime touches all-clear, the
+	// adversary wins. ---
 	full := uint64(1)<<uint(w.n) - 1
 	cm := w.cont[head]
+	v = isoIdentity
 	w.maskSeen = w.maskSeen[:0]
+	w.isoSeen = w.isoSeen[:0]
 	w.passClear = w.passClear[:0]
-	const maxPasses = 1 << 16 // defensive; the head mask repeats almost immediately
+	const maxPasses = 1 << 16 // defensive; the head pair repeats almost immediately
 	for iter := 0; iter < maxPasses; iter++ {
+		if err := w.checkAbort(); err != nil {
+			return false, err
+		}
 		for first, m := range w.maskSeen {
-			if m != cm {
+			if m != cm || w.isoSeen[first] != v {
 				continue
 			}
 			// Passes first..iter−1 repeat forever.
 			for i := first; i < iter; i++ {
 				if w.passClear[i] {
-					return false
+					return false, nil
 				}
 			}
-			return true
+			return true, nil
 		}
 		w.maskSeen = append(w.maskSeen, cm)
+		w.isoSeen = append(w.isoSeen, v)
 		clearThisPass := cm == full
 		for i := range w.cycle {
 			e := &w.cycle[i]
-			if e.movesCW|e.movesCCW != 0 {
-				cm = contApply(cm, e.movesCW, e.movesCCW, w.states[e.to].occupied, w.n)
-				if cm == full {
-					clearThisPass = true
-				}
+			if e.movesCW|e.movesCCW == 0 {
+				v = v.compose(e.iso.inverse(w.n), w.n)
+				continue
+			}
+			mcw, mccw := v.moveMasks(e.movesCW, e.movesCCW, w.n)
+			v = v.compose(e.iso.inverse(w.n), w.n)
+			cm = contApply(cm, mcw, mccw, v.nodeMask(w.states[e.to].occupied, w.n), w.n)
+			if cm == full {
+				clearThisPass = true
 			}
 		}
 		w.passClear = append(w.passClear, clearThisPass)
 	}
-	return false // defensive: pass budget exhausted without repetition
+	return false, nil // defensive: pass budget exhausted without repetition
 }
 
 func growI32(s []int32, n int) []int32 {

@@ -44,8 +44,17 @@
 // worker owns a state-interning search engine (state → dense id,
 // slice-backed adjacency, bitmask edges and contamination) whose buffers
 // are reused across all branches the worker processes — see searcher.go.
-// For the paper's finite cases (n ≤ 9) the per-branch graphs are small
-// enough for exhaustive search.
+//
+// The ring is anonymous and unoriented, so the game is invariant under
+// its 2n dihedral isometries: by default every state is canonicalized
+// (bitmask Booth kernel from internal/config, pending register as
+// tie-break) before interning, compressing each branch's graph by up to
+// 2n× and keying the observation cache by canonical masks only. Edges
+// record the isometry that renamed their target; the starvation-lasso
+// checks compose those records to lift quotient cycles back to genuine
+// executions — see quotient.go. Solver.NoQuotient retains the verbatim
+// searcher as the differential oracle. For the paper's finite cases
+// (n ≤ 9) the per-branch graphs are small enough for exhaustive search.
 package feasibility
 
 import (
@@ -196,6 +205,13 @@ type Solver struct {
 	// cancels it); only wall time and the identity of the surviving table
 	// may differ.
 	Workers int
+	// NoQuotient disables the dihedral symmetry quotient: states are
+	// interned verbatim instead of canonically under the ring's 2n
+	// isometries. The game is invariant under those isometries, so the
+	// quotiented search (the default) reaches the same verdicts with up
+	// to 2n× fewer interned states per branch; the unquotiented searcher
+	// is retained as the differential oracle (quotient_test.go).
+	NoQuotient bool
 
 	// obsCache memoizes per-configuration observations across all table
 	// branches, tiers and workers, sharded by occupied mask.
@@ -224,6 +240,11 @@ type Result struct {
 	// over tiers; schedule-dependent under a parallel search, since the
 	// first survivor cancels the remaining branches).
 	TablesExplored int
+	// StatesInterned sums the interned state-graph sizes over all
+	// branches and tiers — the measure of the symmetry quotient's
+	// frontier compression (schedule-dependent under a parallel search,
+	// like TablesExplored).
+	StatesInterned int64
 }
 
 // Solve decides whether exclusive perpetual graph searching with K robots
@@ -255,6 +276,7 @@ func (s *Solver) Solve() (Result, error) {
 			pendingLimit:  limit,
 			maxExpansions: int64(s.MaxExpansions), // budget per tier
 			maxCycleLen:   s.MaxCycleLen,
+			quotient:      !s.NoQuotient,
 			starts:        starts,
 			obs:           s.obsCache,
 			queue:         newWorkQueue(),
@@ -279,6 +301,7 @@ func (s *Solver) Solve() (Result, error) {
 		}
 		wg.Wait()
 		res.TablesExplored += int(ts.tables.Load())
+		res.StatesInterned += ts.statesInterned.Load()
 		// A survivor settles the tier even if a racing worker exhausted
 		// the budget on a branch the survivor made irrelevant: one table
 		// the adversary cannot beat refutes impossibility regardless of

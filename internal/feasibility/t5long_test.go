@@ -17,15 +17,17 @@ import (
 //
 // Measured outcomes:
 //   - (4,9): impossibility CONFIRMED at tier 0. Seed engine: 969,756
-//     table branches in ≈ 6m45s; interned engine: ≈ 5.6s single-threaded
-//     (177,738 branches — the deterministic edge order finds starvation
-//     loops earlier, closing branches sooner).
+//     table branches in ≈ 6m45s; interned engine (PR 2): ≈ 6s
+//     single-threaded over 177,738 branches; symmetry-quotiented engine
+//     (PR 3, the default): ≈ 3s over 145,986 branches with 5.3× fewer
+//     interned states (7.72M → 1.46M).
 //   - (5,9): the bounded adversary (pending ≤ 2, starvation loops ≤ 24
 //     steps, pruned loop search) exhausts its table tree but one table
-//     survives it (seed: ≈ 5m30s; interned: ≈ 3.6s). A survivor under a
-//     *restricted* adversary is not a solvability proof and does not
-//     contradict Theorem 5 — (5,9) is exactly the case whose paper proof
-//     needs the most intricate asynchronous scheduling.
+//     survives it (seed: ≈ 5m30s; interned: ≈ 3.8s; quotiented: ≈ 2.7s).
+//     A survivor under a *restricted* adversary is not a solvability
+//     proof and does not contradict Theorem 5 — (5,9) is exactly the
+//     case whose paper proof needs the most intricate asynchronous
+//     scheduling.
 func TestLongRunTheorem5Deep(t *testing.T) {
 	if os.Getenv("T5LONG") == "" {
 		t.Skip("set T5LONG=1 to run the deep (4,9)/(5,9) game searches with timing")
