@@ -183,18 +183,25 @@ func BenchmarkImpossibility(b *testing.B) {
 // BenchmarkFeasibilitySolve measures full impossibility solves on the
 // Theorem 5 cases, sequential (workers=1, isolating the single-thread
 // interning win) and parallel (workers=GOMAXPROCS, the sharded table
-// search).
+// search). The incremental=off rows keep the full-reanalysis oracle's
+// cost on record, quantifying the sibling-branch reuse win over time.
 func BenchmarkFeasibilitySolve(b *testing.B) {
 	for _, tc := range []struct {
 		n, k, workers int
+		noIncremental bool
 	}{
-		{7, 4, 1}, {7, 4, 0}, {8, 5, 1}, {8, 5, 0},
+		{7, 4, 1, false}, {7, 4, 0, false}, {8, 5, 1, false}, {8, 5, 0, false},
+		{7, 4, 1, true}, {8, 5, 1, true},
 	} {
 		name := fmt.Sprintf("n=%d/k=%d/workers=%d", tc.n, tc.k, tc.workers)
+		if tc.noIncremental {
+			name += "/incremental=off"
+		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := feasibility.NewSolver(tc.n, tc.k)
 				s.Workers = tc.workers
+				s.NoIncremental = tc.noIncremental
 				res, err := s.Solve()
 				if err != nil {
 					b.Fatal(err)

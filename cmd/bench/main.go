@@ -174,17 +174,26 @@ func families() []family {
 	})
 
 	// Full solver runs, sequential vs parallel (the sharded table search;
-	// on a single-vCPU runner both land in the same ballpark).
+	// on a single-vCPU runner both land in the same ballpark). The
+	// incremental=off rows keep the full-reanalysis oracle's cost on
+	// record, quantifying the sibling-branch reuse win over time.
 	for _, tc := range []struct {
 		n, k, workers int
+		noIncremental bool
 	}{
-		{7, 4, 1}, {7, 4, 0}, {8, 5, 1}, {8, 5, 0},
+		{7, 4, 1, false}, {7, 4, 0, false}, {8, 5, 1, false}, {8, 5, 0, false},
+		{7, 4, 1, true}, {8, 5, 1, true},
 	} {
 		tc := tc
-		add(fmt.Sprintf("FeasibilitySolve/n=%d/k=%d/workers=%d", tc.n, tc.k, tc.workers), func(b *testing.B) {
+		name := fmt.Sprintf("FeasibilitySolve/n=%d/k=%d/workers=%d", tc.n, tc.k, tc.workers)
+		if tc.noIncremental {
+			name += "/incremental=off"
+		}
+		add(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := feasibility.NewSolver(tc.n, tc.k)
 				s.Workers = tc.workers
+				s.NoIncremental = tc.noIncremental
 				res, err := s.Solve()
 				if err != nil {
 					b.Fatal(err)

@@ -15,6 +15,9 @@
 // ratios that exceed the threshold inside overlapping noise bands are
 // reported as jitter, not failures. Reports without spread data fall
 // back to comparing point estimates, preserving the old behavior.
+// Sub-microsecond rows (below -min-ns, default 1000) are reported but
+// never gated: a 2.7 ns cached lookup swings past any ratio threshold
+// on a CPU frequency shift alone.
 package main
 
 import (
@@ -68,6 +71,7 @@ func spread(r result) (lo, hi float64) {
 
 func main() {
 	threshold := flag.Float64("threshold", 2.0, "fail on ns/op regressions beyond this factor")
+	minNs := flag.Float64("min-ns", 1000, "report but never fail benchmarks whose old ns/op is below this floor (sub-microsecond rows are noise-dominated)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] OLD.json NEW.json")
@@ -93,6 +97,7 @@ func main() {
 	fmt.Printf("%-52s %14s %14s %8s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "old all/op", "new all/op")
 	regressions := 0
 	jitter := 0
+	floored := 0
 	for _, nw := range newRep.Benchmarks {
 		old, ok := oldBy[nw.Name]
 		if !ok {
@@ -110,10 +115,19 @@ func main() {
 			// Only a slowdown that survives both spreads is a regression.
 			_, oldHi := spread(old)
 			newLo, _ := spread(nw)
-			if oldHi > 0 && newLo/oldHi > *threshold {
+			switch {
+			case old.NsPerOp < *minNs && nw.NsPerOp < *minNs:
+				// Nanosecond-scale rows (a cached lookup, a bitmask op)
+				// swing past any ratio threshold on CPU frequency or
+				// noisy-neighbor shifts alone; report, never gate. Both
+				// sides must sit below the floor — a sub-floor row that
+				// regressed past it is a real slowdown and still gates.
+				flagStr = "  (below gate floor)"
+				floored++
+			case oldHi > 0 && newLo/oldHi > *threshold:
 				flagStr = "  << REGRESSION"
 				regressions++
-			} else {
+			default:
 				flagStr = "  (jitter: spreads overlap)"
 				jitter++
 			}
@@ -132,6 +146,9 @@ func main() {
 	}
 	if jitter > 0 {
 		fmt.Printf("%d benchmark(s) beyond %.2fx on point estimates but within run spread (not failed)\n", jitter, *threshold)
+	}
+	if floored > 0 {
+		fmt.Printf("%d sub-%.0fns benchmark(s) beyond %.2fx excluded by the gate floor (not failed)\n", floored, *minNs, *threshold)
 	}
 	if regressions > 0 {
 		fmt.Printf("%d benchmark(s) regressed beyond %.2fx\n", regressions, *threshold)

@@ -141,14 +141,16 @@ func e4Impossibility(full bool) {
 		{n: 6, k: 4, claim: "Thm 4"}, {n: 7, k: 5, claim: "Thm 4"},
 		// Wide rings, past the former n ≤ 16 packed-state limit: the
 		// 192-bit state supports n ≤ 32 end to end, and the symmetry
-		// quotient keeps the interned graphs 2n× smaller.
-		// (Exhaustively draining k=3 tables wider than n=18 still
-		// exhausts budgets — the quotient shrinks orbits, not the table
-		// branching; see the incremental-re-analysis follow-up in
-		// ROADMAP.md.)
+		// quotient keeps the interned graphs 2n× smaller. Incremental
+		// branch reuse (PR 4) cuts the charged budget on the k = 3
+		// drains to ≈ 4.8 units/branch (vs ≈ 34), a ~7× deeper drain per
+		// budget — but the (3,19)/(3,20) table trees still exceed 52M
+		// branches, so those two stay out of the sweep (wall-clock-bound
+		// now; see ROADMAP.md). Where 3 | n the drain collapses to a
+		// handful of tables, hence the (3,21) row.
 		{n: 18, k: 1, claim: "Thm 2 (wide)"}, {n: 20, k: 2, claim: "Thm 2 (wide)"},
 		{n: 24, k: 2, claim: "Thm 2 (wide)"}, {n: 32, k: 2, claim: "Thm 2 (wide)"},
-		{n: 18, k: 3, claim: "Thm 3 (wide)"},
+		{n: 18, k: 3, claim: "Thm 3 (wide)"}, {n: 21, k: 3, claim: "Thm 3 (wide)"},
 	}
 	if full {
 		for _, f := range feasibility.PaperFigures() {
@@ -174,7 +176,11 @@ func e4Impossibility(full bool) {
 			e4case{n: 24, k: 4, claim: "open*", budget: 50_000_000},
 		)
 	}
-	fmt.Println("  (k,n)   paper-claims  solver-verdict  tables-explored  time")
+	// branches-reused counts tables analyzed incrementally from their
+	// parent's snapshot; states-reexpanded is the expansion work
+	// actually performed, so tables-explored × graph size vs
+	// states-reexpanded shows the compression incremental reuse buys.
+	fmt.Println("  (k,n)   paper-claims  solver-verdict  tables-explored  branches-reused  states-reexpanded  time")
 	for _, tc := range cases {
 		t0 := time.Now()
 		s := feasibility.NewSolver(tc.n, tc.k)
@@ -196,7 +202,9 @@ func e4Impossibility(full bool) {
 			// expected to end this way.
 			verdict = "survivor (bounded adversary; inconclusive)"
 		}
-		fmt.Printf("  (%d,%d)  %-12s  %-38s  %15d  %v\n", tc.k, tc.n, tc.claim, verdict, res.TablesExplored, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("  (%d,%d)  %-12s  %-38s  %15d  %15d  %17d  %v\n",
+			tc.k, tc.n, tc.claim, verdict, res.TablesExplored, res.BranchesReused, res.StatesReexpanded,
+			time.Since(t0).Round(time.Millisecond))
 	}
 	if !full {
 		fmt.Println("  (run with -solver for the six exhaustive Theorem 5 cases and the k>=4 wide open-region sweep)")

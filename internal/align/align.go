@@ -134,10 +134,16 @@ func ComputePlan(c config.Config) (Plan, error) {
 	if l1 < 0 {
 		return Plan{}, fmt.Errorf("align: all-zero supermin view in %v", c)
 	}
+	// Candidate reductions are probed for successor symmetry with
+	// config.SymmetricAfterMove — a two-entry delta on the memoized
+	// interval cycle in pooled scratch — instead of materializing and
+	// canonicalizing a fresh Config per probe; same applicability
+	// semantics (ok=false exactly when the move would error).
+	//
 	// reduction_1: robot b between q_{ℓ1} and q_{ℓ1+1} moves into q_{ℓ1}.
 	b := nthNode((l1 + 1) % k)
 	p1 := Plan{Rule: Rule1, Mover: b, Target: c.Ring().Step(b, a.Dir.Opposite())}
-	if next, err := apply(c, p1); err == nil && !next.IsSymmetric() {
+	if sym, ok := c.SymmetricAfterMove(p1.Mover, p1.Target); ok && !sym {
 		return p1, nil
 	}
 
@@ -146,7 +152,7 @@ func ComputePlan(c config.Config) (Plan, error) {
 		// reduction_2: robot c between q_{ℓ2} and q_{ℓ2+1} moves into q_{ℓ2}.
 		m2 := nthNode((l2 + 1) % k)
 		p2 := Plan{Rule: Rule2, Mover: m2, Target: c.Ring().Step(m2, a.Dir.Opposite())}
-		if next, err := apply(c, p2); err == nil && !next.IsSymmetric() {
+		if sym, ok := c.SymmetricAfterMove(p2.Mover, p2.Target); ok && !sym {
 			return p2, nil
 		}
 	}
@@ -154,7 +160,7 @@ func ComputePlan(c config.Config) (Plan, error) {
 	// reduction_{−1}: robot d between q_{k−2} and q_{k−1} moves into q_{k−1}.
 	d := nthNode(k - 1)
 	pm := Plan{Rule: RuleMinus1, Mover: d, Target: c.Ring().Step(d, a.Dir)}
-	if next, err := apply(c, pm); err == nil && !next.IsSymmetric() {
+	if sym, ok := c.SymmetricAfterMove(pm.Mover, pm.Target); ok && !sym {
 		return pm, nil
 	}
 

@@ -1,0 +1,78 @@
+package config
+
+import (
+	"sync"
+
+	"ringrobots/internal/ring"
+)
+
+// probeScratch pools the integer scratch of SymmetricAfterMove (delta'd
+// cycle, its reversal, and the Booth failure buffer), so steady-state
+// probes allocate nothing.
+var probePool = sync.Pool{New: func() any { return new([]int) }}
+
+// SymmetricAfterMove reports whether the configuration reached by
+// moving the robot at node from onto the adjacent empty node to would
+// be symmetric (Property 1(ii)), without materializing that
+// configuration. A single-robot move changes exactly two adjacent
+// entries of the interval cycle — the interval ahead of the mover
+// shrinks by one, the interval behind grows by one — and symmetry is a
+// rotation-class property of that cycle, so the probe applies the
+// two-entry delta to the memoized cycle in pooled scratch and re-runs
+// the Booth CW-vs-CCW comparison there: O(k) integer work, no Config
+// construction, no allocation after warmup. This is the hot probe of
+// align.ComputePlan, which tests up to three candidate reductions per
+// step for symmetry of their successors.
+//
+// ok reports whether the move is applicable (from occupied, to empty,
+// nodes adjacent — the same conditions under which Config.Move
+// succeeds); symmetric is meaningful only when ok is true.
+func (c Config) SymmetricAfterMove(from, to int) (symmetric, ok bool) {
+	from, to = c.r.Norm(from), c.r.Norm(to)
+	if !c.r.Adjacent(from, to) || c.Occupied(to) {
+		return false, false
+	}
+	i := c.nodeIndex(from)
+	if i < 0 {
+		return false, false
+	}
+	g := c.intervals()
+	k := len(g)
+	// Moving clockwise shrinks the interval ahead (g[i]) and grows the
+	// one behind (g[i-1]); counterclockwise is the mirror image. With
+	// k = 1 both indices coincide and the cycle is unchanged — correct,
+	// since a lone robot's configuration is rotation-equivalent to any
+	// of its moves.
+	shrink, grow := i, (i-1+k)%k
+	if to != c.r.Step(from, ring.CW) {
+		shrink, grow = grow, shrink
+	}
+
+	bufp := probePool.Get().(*[]int)
+	buf := *bufp
+	if cap(buf) < 4*k {
+		buf = make([]int, 4*k)
+	}
+	buf = buf[:4*k]
+	gp := buf[:k]
+	copy(gp, g)
+	gp[shrink]--
+	gp[grow]++
+	rev := buf[k : 2*k]
+	for t := 0; t < k; t++ {
+		rev[t] = gp[k-1-t]
+	}
+	booth := buf[2*k : 4*k]
+	sCW := leastRotation(gp, booth)
+	sCCW := leastRotation(rev, booth)
+	symmetric = true
+	for j := 0; j < k; j++ {
+		if gp[(sCW+j)%k] != rev[(sCCW+j)%k] {
+			symmetric = false
+			break
+		}
+	}
+	*bufp = buf
+	probePool.Put(bufp)
+	return symmetric, true
+}

@@ -1,0 +1,80 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringrobots/internal/ring"
+)
+
+// TestSymmetricAfterMoveExhaustive checks the delta probe against the
+// materializing oracle (Move + IsSymmetric) for every configuration and
+// every adjacent move on small rings.
+func TestSymmetricAfterMoveExhaustive(t *testing.T) {
+	for n := 3; n <= 9; n++ {
+		for occ := 1; occ < 1<<uint(n); occ++ {
+			nodes := make([]int, 0, n)
+			for u := 0; u < n; u++ {
+				if occ&(1<<uint(u)) != 0 {
+					nodes = append(nodes, u)
+				}
+			}
+			c := MustNew(n, nodes...)
+			for _, from := range nodes {
+				for _, d := range []ring.Direction{ring.CW, ring.CCW} {
+					to := c.Ring().Step(from, d)
+					sym, ok := c.SymmetricAfterMove(from, to)
+					next, err := c.Move(from, to)
+					if ok != (err == nil) {
+						t.Fatalf("n=%d %v move %d->%d: probe ok=%v, Move err=%v", n, nodes, from, to, ok, err)
+					}
+					if ok && sym != next.IsSymmetric() {
+						t.Fatalf("n=%d %v move %d->%d: probe symmetric=%v, oracle %v",
+							n, nodes, from, to, sym, next.IsSymmetric())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetricAfterMoveRandom fuzzes the probe on wide rings.
+func TestSymmetricAfterMoveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3000; trial++ {
+		n := 3 + rng.Intn(120)
+		k := 1 + rng.Intn(n)
+		perm := rng.Perm(n)
+		nodes := append([]int(nil), perm[:k]...)
+		c := MustNew(n, nodes...)
+		from := nodes[rng.Intn(k)]
+		d := ring.CW
+		if rng.Intn(2) == 0 {
+			d = ring.CCW
+		}
+		to := c.Ring().Step(from, d)
+		sym, ok := c.SymmetricAfterMove(from, to)
+		next, err := c.Move(from, to)
+		if ok != (err == nil) {
+			t.Fatalf("n=%d k=%d move %d->%d: probe ok=%v, Move err=%v", n, k, from, to, ok, err)
+		}
+		if ok && sym != next.IsSymmetric() {
+			t.Fatalf("n=%d k=%d %v move %d->%d: probe symmetric=%v, oracle %v", n, k, nodes, from, to, sym, next.IsSymmetric())
+		}
+	}
+}
+
+// TestSymmetricAfterMoveAllocFree pins the probe's zero-allocation
+// steady state (the point of the delta: Align's planner probes up to
+// three successors per step and used to build a Config per probe).
+func TestSymmetricAfterMoveAllocFree(t *testing.T) {
+	c := MustNew(24, 0, 1, 3, 6, 10, 15, 21)
+	to := c.Ring().Step(0, ring.CCW)
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, ok := c.SymmetricAfterMove(0, to); !ok {
+			t.Fatal("probe not applicable")
+		}
+	}); avg > 0 {
+		t.Errorf("SymmetricAfterMove allocates %.1f objects per probe; want 0", avg)
+	}
+}

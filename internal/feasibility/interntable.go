@@ -1,0 +1,134 @@
+package feasibility
+
+// internTable is the searcher's state → dense-id interner: an
+// epoch-stamped open-addressing hash table replacing the former
+// map[state]int32. Two properties matter to the table search:
+//
+//   - reset is O(1): a slot is live only while its mark equals the
+//     table's current epoch, so starting a fresh branch is one counter
+//     increment instead of the clear(map) full-capacity wipe that cost
+//     25–30 % of a small-case solve (PR 3 follow-up);
+//   - the backing arrays are a plain value snapshot: publishing a
+//     branch snapshot hands them off wholesale and adopting one is a
+//     memcpy, so sibling branches share the parent's interning work
+//     (see incremental.go).
+//
+// Slots use linear probing and are never deleted within an epoch, so a
+// stale (old-epoch) slot is equivalent to an empty one: inserts claim
+// the first stale-or-empty slot on the probe path and lookups stop
+// there.
+type internTable struct {
+	keys  []state
+	ids   []int32
+	marks []uint64
+	// epoch stamps live slots. 64-bit for the same reason as the
+	// searcher's visit epoch: one table survives a whole tier and a
+	// wrapped counter would alias stale slots into fresh branches.
+	epoch uint64
+	mask  uint32
+	count int32
+}
+
+// internTableMinSize is deliberately small: wide-ring tier-0 graphs
+// intern a few dozen canonical states, and incremental adoption copies
+// (or rebuilds) the whole image per branch — a large floor would make
+// that copy the per-branch bottleneck on branch-heavy drains like
+// (3,20). Deep cases grow past it in a handful of doublings.
+const internTableMinSize = 1 << 8
+
+// reset starts a fresh branch: every slot becomes stale at once.
+func (t *internTable) reset() {
+	t.epoch++
+	t.count = 0
+}
+
+// getOrPut returns the id interned for s, or claims a slot binding s to
+// id and reports existed=false. id must be the caller's next dense id.
+func (t *internTable) getOrPut(s state, id int32) (int32, bool) {
+	if t.count >= int32(len(t.keys))-int32(len(t.keys))>>2 {
+		t.grow()
+	}
+	h := uint32(hashState(s))
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		if t.marks[i] != t.epoch {
+			t.marks[i] = t.epoch
+			t.keys[i] = s
+			t.ids[i] = id
+			t.count++
+			return id, false
+		}
+		if t.keys[i] == s {
+			return t.ids[i], true
+		}
+	}
+}
+
+// lookup reports the id interned for s, if any.
+func (t *internTable) lookup(s state) (int32, bool) {
+	if len(t.keys) == 0 {
+		return 0, false
+	}
+	h := uint32(hashState(s))
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		if t.marks[i] != t.epoch {
+			return 0, false
+		}
+		if t.keys[i] == s {
+			return t.ids[i], true
+		}
+	}
+}
+
+// grow doubles the capacity (or allocates the initial table) and
+// re-inserts the live slots. Stale slots are dropped for free: only
+// current-epoch entries are rehashed.
+func (t *internTable) grow() {
+	size := 2 * len(t.keys)
+	if size < internTableMinSize {
+		size = internTableMinSize
+	}
+	oldKeys, oldIds, oldMarks, oldEpoch := t.keys, t.ids, t.marks, t.epoch
+	t.keys = make([]state, size)
+	t.ids = make([]int32, size)
+	t.marks = make([]uint64, size)
+	t.mask = uint32(size - 1)
+	// A fresh marks array is all zero, so restart the epoch above zero.
+	t.epoch = 1
+	for i, m := range oldMarks {
+		if m != oldEpoch {
+			continue
+		}
+		s := oldKeys[i]
+		h := uint32(hashState(s))
+		for j := h & t.mask; ; j = (j + 1) & t.mask {
+			if t.marks[j] != t.epoch {
+				t.marks[j] = t.epoch
+				t.keys[j] = s
+				t.ids[j] = oldIds[i]
+				break
+			}
+		}
+	}
+}
+
+// adoptFrom makes t an independent copy of src's live image (a branch
+// snapshot): same capacity window, same epoch, same slots. Subsequent
+// inserts and resets touch only t's backing.
+func (t *internTable) adoptFrom(src *internTable) {
+	n := len(src.keys)
+	if cap(t.keys) < n {
+		t.keys = make([]state, n)
+		t.ids = make([]int32, n)
+		t.marks = make([]uint64, n)
+	} else {
+		t.keys = t.keys[:n]
+		t.ids = t.ids[:n]
+		t.marks = t.marks[:n]
+	}
+	copy(t.keys, src.keys)
+	copy(t.ids, src.ids)
+	copy(t.marks, src.marks)
+	t.mask = src.mask
+	t.epoch = src.epoch
+	t.count = src.count
+}

@@ -22,6 +22,12 @@ type tableNode struct {
 	parent *tableNode // nil only for the root (empty table)
 	obs    ObsKey
 	d      Decision
+	// snap is the parent branch's published analysis (nil for the root
+	// and in NoIncremental mode): the child differs from it by exactly
+	// the one (obs, d) binding above, so its worker re-expands only the
+	// frontier that binding unlocks instead of rebuilding the graph.
+	// See incremental.go.
+	snap *branchSnap
 }
 
 // materializeInto rebuilds the chain as a lookup map (cleared first).
@@ -224,16 +230,35 @@ type tierSearch struct {
 	// obsCache below is already in canonical frame, so the cache holds
 	// one entry per configuration class instead of one per labeling.
 	quotient bool
-	starts   []state
-	obs      *obsCache
-	queue    *workQueue
+	// incremental makes every non-root branch reuse its parent's
+	// published analysis snapshot instead of re-expanding the reachable
+	// graph from scratch (incremental.go). Off, the tier runs the
+	// verbatim full-reanalysis oracle.
+	incremental bool
+	starts      []state
+	obs         *obsCache
+	queue       *workQueue
 
 	expansions atomic.Int64
 	tables     atomic.Int64
 	// statesInterned accumulates the per-branch interned-graph sizes —
-	// the quotient's compression is measured by this counter.
+	// the quotient's compression is measured by this counter. Both modes
+	// count the same graphs: a branch's interned graph is identical
+	// whether it was built fresh or inherited and extended.
 	statesInterned atomic.Int64
+	// statesReexpanded accumulates expand() calls actually performed —
+	// in incremental mode only the unlocked frontier, in full mode every
+	// interned state — so the reuse compression is the ratio between the
+	// modes' values.
+	statesReexpanded atomic.Int64
+	// branchesReused counts branches analyzed incrementally from a
+	// parent snapshot.
+	branchesReused atomic.Int64
 	stop           atomic.Bool
+
+	// snapPool recycles released branch snapshots (their array capacity)
+	// across workers.
+	snapPool sync.Pool
 
 	mu       sync.Mutex
 	survivor Table

@@ -88,16 +88,43 @@ type searcher struct {
 
 	// State interning: states[id], cont[id] (stem contamination clear
 	// mask at discovery) and info[id] are parallel; edges is the shared
-	// adjacency arena indexed by nodeInfo windows.
-	ids    map[state]int32
+	// adjacency arena indexed by nodeInfo windows. tab is the
+	// epoch-stamped open-addressing interner (interntable.go): a branch
+	// reset is O(1) and the whole image snapshots by memcpy.
+	tab    internTable
 	states []state
 	cont   []uint64
 	info   []nodeInfo
 	edges  []edge
+	// numStarts is how many distinct (canonicalized) start states head
+	// the intern order; the canonical-discovery replay in incremental
+	// mode re-seeds exactly that prefix.
+	numStarts int32
 
-	// needed collects observations missing from the table, with their
-	// legal-decision masks.
-	needed map[ObsKey]uint8
+	// waiters records every (state, observation) pair whose expansion
+	// found the observation missing from the table, with its
+	// legal-decision mask. It replaces the former needed map: besides
+	// driving branch selection it is the reverse index incremental
+	// re-analysis uses to find the states a new table entry unlocks.
+	waiters []waiter
+
+	// expanded counts expand() calls this branch (flushed to the shared
+	// statesReexpanded counter by process) — the measure of expansion
+	// work actually performed, identical in meaning for both modes.
+	expanded int64
+
+	// Incremental re-analysis scratch (incremental.go). prevCont,
+	// prevScc and prevCompSize alias the parent snapshot's arrays for
+	// the duration of one analyzeIncremental call.
+	prevCont     []uint64
+	prevScc      []int32
+	prevCompSize []int32
+	dirtyMark    []uint64
+	dirtyEpoch   uint64
+	dirtyList    []int32
+	order        []int32
+	compDirty    []bool
+	compPrev     []int32
 
 	// canonCache memoizes the occupied-mask half of state
 	// canonicalization per worker: at most C(n,k) distinct masks exist
@@ -136,6 +163,14 @@ type searcher struct {
 	local int64
 }
 
+// waiter is one registered unknown: state id waits on obs, whose legal
+// decisions are legal. See searcher.waiters.
+type waiter struct {
+	obs   ObsKey
+	id    int32
+	legal uint8
+}
+
 func newSearcher(ts *tierSearch) *searcher {
 	return &searcher{
 		ts:           ts,
@@ -143,8 +178,6 @@ func newSearcher(ts *tierSearch) *searcher {
 		pendingLimit: ts.pendingLimit,
 		quotient:     ts.quotient,
 		table:        make(Table, 64),
-		ids:          make(map[state]int32, 1<<10),
-		needed:       make(map[ObsKey]uint8, 64),
 		canonCache:   make(map[uint64]occCanon, 1<<8),
 		dirs:         make([]ring.Direction, ts.k),
 	}
@@ -168,14 +201,35 @@ func (w *searcher) canonState(s state) (state, isom) {
 // pushed in descending decision order so the LIFO queue pops them in the
 // fixed enumeration order — with one worker this reproduces the
 // sequential depth-first search exactly.
+//
+// A branch carrying its parent's snapshot is re-analyzed incrementally
+// (incremental.go): the per-branch outputs (win, needed, legal) are
+// exactly those of a full analyze of the same table, so the explored
+// tree — and, per worker count, every Result field except the work
+// counters — is identical in both modes. Branches that fan out publish
+// a snapshot of the finished analysis for their children in turn.
 func (w *searcher) process(nd *tableNode) {
 	if w.ts.stop.Load() {
 		return
 	}
 	w.ts.tables.Add(1)
 	nd.materializeInto(w.table)
-	win, needed, legal, err := w.analyze()
+	var win bool
+	var needed ObsKey
+	var legal uint8
+	var err error
+	if nd.snap != nil {
+		w.ts.branchesReused.Add(1)
+		win, needed, legal, err = w.analyzeIncremental(nd)
+		w.prevCont, w.prevScc, w.prevCompSize = nil, nil, nil
+		w.ts.releaseSnap(nd.snap)
+		nd.snap = nil
+	} else {
+		win, needed, legal, err = w.analyze()
+	}
 	w.ts.statesInterned.Add(int64(len(w.states)))
+	w.ts.statesReexpanded.Add(w.expanded)
+	w.expanded = 0
 	if err != nil {
 		if err != errStopped {
 			w.ts.fail(err)
@@ -189,9 +243,13 @@ func (w *searcher) process(nd *tableNode) {
 		w.ts.foundSurvivor(nd.toTable())
 		return
 	}
+	var snap *branchSnap
+	if w.ts.incremental {
+		snap = w.publishSnap(bits.OnesCount8(legal))
+	}
 	for d := DEither; d >= DStay; d-- {
 		if legal&(1<<uint(d)) != 0 {
-			w.ts.queue.push(&tableNode{parent: nd, obs: needed, d: d})
+			w.ts.queue.push(&tableNode{parent: nd, obs: needed, d: d, snap: snap})
 		}
 	}
 }
@@ -245,8 +303,8 @@ func (w *searcher) step(u int, d ring.Direction) int {
 // undefined observation (legal != 0) for the table search to branch on,
 // or legal == 0 when the table already determines all behavior.
 func (w *searcher) analyze() (win bool, neededObs ObsKey, legal uint8, err error) {
-	clear(w.ids)
-	clear(w.needed)
+	w.tab.reset()
+	w.waiters = w.waiters[:0]
 	w.states = w.states[:0]
 	w.cont = w.cont[:0]
 	w.info = w.info[:0]
@@ -257,14 +315,12 @@ func (w *searcher) analyze() (win bool, neededObs ObsKey, legal uint8, err error
 		if w.quotient {
 			st, _ = w.canonState(st)
 		}
-		if _, ok := w.ids[st]; ok {
+		if _, ok := w.tab.lookup(st); ok {
 			continue
 		}
-		w.ids[st] = int32(len(w.states))
-		w.states = append(w.states, st)
-		w.cont = append(w.cont, contRefresh(0, st.occupied, w.n))
-		w.info = append(w.info, nodeInfo{})
+		w.intern(st, contRefresh(0, st.occupied, w.n))
 	}
+	w.numStarts = int32(len(w.states))
 
 	// BFS: appending interned states makes the slice its own queue.
 	for id := int32(0); int(id) < len(w.states); id++ {
@@ -287,15 +343,8 @@ func (w *searcher) analyze() (win bool, neededObs ObsKey, legal uint8, err error
 	// iteratively deepened length caps (adversary wins are usually
 	// short), never exceeding MaxCycleLen.
 	w.computeSCCs()
-	allCaps := [3]int{6, 12, w.ts.maxCycleLen}
-	lengthCaps := allCaps[:]
-	if w.ts.maxCycleLen <= 6 {
-		lengthCaps = allCaps[2:]
-	} else if w.ts.maxCycleLen <= 12 {
-		allCaps[1] = w.ts.maxCycleLen
-		lengthCaps = allCaps[:2]
-	}
-	for _, lengthCap := range lengthCaps {
+	var caps [3]int
+	for _, lengthCap := range w.lengthCaps(&caps) {
 		for id := int32(0); int(id) < len(w.states); id++ {
 			if w.scc[id] < 0 {
 				continue // trivial component: no cycle through here
@@ -310,20 +359,60 @@ func (w *searcher) analyze() (win bool, neededObs ObsKey, legal uint8, err error
 		}
 	}
 
-	// Branch on the unresolved observation with the fewest legal
-	// decisions: smallest fan-out first keeps the table tree narrow.
+	best, bestMask := w.selectNeeded()
+	return false, best, bestMask, nil
+}
+
+// lengthCaps fills the iterative-deepening schedule of the lasso hunt
+// into the caller's array: adversary wins are usually short, so short
+// caps run first, never exceeding MaxCycleLen.
+func (w *searcher) lengthCaps(caps *[3]int) []int {
+	*caps = [3]int{6, 12, w.ts.maxCycleLen}
+	if w.ts.maxCycleLen <= 6 {
+		return caps[2:]
+	}
+	if w.ts.maxCycleLen <= 12 {
+		caps[1] = w.ts.maxCycleLen
+		return caps[:2]
+	}
+	return caps[:]
+}
+
+// selectNeeded picks the branching observation: the undefined
+// observation with the fewest legal decisions (smallest fan-out first
+// keeps the table tree narrow), ties broken by the deterministic ObsKey
+// order. Duplicate registrations are harmless under the min, and the
+// defined-in-table filter is defensive: registrations only ever happen
+// for unknown observations and incremental adoption drops entries the
+// branch's new binding resolved.
+func (w *searcher) selectNeeded() (ObsKey, uint8) {
 	var best ObsKey
 	var bestMask uint8
 	bestOptions := 1 << 30
-	for obs, mask := range w.needed {
-		opts := bits.OnesCount8(mask)
-		if opts < bestOptions || (opts == bestOptions && obs.Less(best)) {
-			best = obs
-			bestMask = mask
+	for i := range w.waiters {
+		e := &w.waiters[i]
+		if _, defined := w.table[e.obs]; defined {
+			continue
+		}
+		opts := bits.OnesCount8(e.legal)
+		if opts < bestOptions || (opts == bestOptions && e.obs.Less(best)) {
+			best = e.obs
+			bestMask = e.legal
 			bestOptions = opts
 		}
 	}
-	return false, best, bestMask, nil
+	return best, bestMask
+}
+
+// intern binds a new state to the next dense id with its stem
+// contamination, growing the parallel arrays.
+func (w *searcher) intern(st state, cm uint64) int32 {
+	id := int32(len(w.states))
+	w.tab.getOrPut(st, id)
+	w.states = append(w.states, st)
+	w.cont = append(w.cont, cm)
+	w.info = append(w.info, nodeInfo{})
+	return id
 }
 
 // edgeTo interns the target state of an edge, deriving its stem
@@ -338,7 +427,7 @@ func (w *searcher) edgeTo(from int32, next state, movesCW, movesCCW uint64) (int
 	if w.quotient {
 		can, g = w.canonState(next)
 	}
-	if id, ok := w.ids[can]; ok {
+	if id, ok := w.tab.lookup(can); ok {
 		return id, g
 	}
 	cm := w.cont[from]
@@ -348,17 +437,17 @@ func (w *searcher) edgeTo(from int32, next state, movesCW, movesCCW uint64) (int
 	if g != isoIdentity {
 		cm = g.edgeMask(cm, w.n)
 	}
-	id := int32(len(w.states))
-	w.ids[can] = id
-	w.states = append(w.states, can)
-	w.cont = append(w.cont, cm)
-	w.info = append(w.info, nodeInfo{})
-	return id, g
+	return w.intern(can, cm), g
 }
 
 // expand lists the adversary's options at a state into the edge arena.
-// It reports whether the adversary can force a collision here.
+// It reports whether the adversary can force a collision here. The
+// listing is a pure function of (state, table): re-expanding a state
+// under a larger table appends a fresh window whose edge sequence is
+// exactly what a from-scratch analyze of that table would produce —
+// the property incremental re-analysis rests on.
 func (w *searcher) expand(id int32) (collision bool) {
+	w.expanded++
 	st := w.states[id]
 	ni := nodeInfo{edgeOff: int32(len(w.edges))}
 	unknowns := false
@@ -404,7 +493,7 @@ func (w *searcher) expand(id int32) (collision bool) {
 		d, known := w.table[oi.obs]
 		if !known {
 			unknowns = true
-			w.needed[oi.obs] = oi.legal
+			w.waiters = append(w.waiters, waiter{obs: oi.obs, id: id, legal: oi.legal})
 			continue
 		}
 		if d == DStay {

@@ -55,6 +55,16 @@
 // executions — see quotient.go. Solver.NoQuotient retains the verbatim
 // searcher as the differential oracle. For the paper's finite cases
 // (n ≤ 9) the per-branch graphs are small enough for exhaustive search.
+//
+// Sibling branches differ from their parent by exactly one table entry,
+// so by default a branching analysis is published as a snapshot and
+// each child re-expands only the frontier its new entry unlocks,
+// replaying stem contaminations canonically and re-hunting starvation
+// lassos only in components the entry could have changed — see
+// incremental.go. Solver.NoIncremental retains full re-analysis as the
+// second differential oracle. The state interner behind both modes is
+// an epoch-stamped open-addressing table (interntable.go) whose branch
+// reset is O(1) and whose image snapshots by memcpy.
 package feasibility
 
 import (
@@ -212,6 +222,16 @@ type Solver struct {
 	// to 2n× fewer interned states per branch; the unquotiented searcher
 	// is retained as the differential oracle (quotient_test.go).
 	NoQuotient bool
+	// NoIncremental disables incremental sibling-branch re-analysis:
+	// every branch rebuilds its reachable graph from scratch instead of
+	// adopting the parent branch's snapshot and re-expanding only the
+	// frontier its one new table entry unlocks (incremental.go). A
+	// branch's analysis outputs are identical in both modes — the
+	// full-reanalysis path is the differential oracle pinning verdict,
+	// tier and survivor agreement (incremental_test.go), exactly as
+	// NoQuotient does for the symmetry quotient. Orthogonal to
+	// NoQuotient: all four mode combinations are valid.
+	NoIncremental bool
 
 	// obsCache memoizes per-configuration observations across all table
 	// branches, tiers and workers, sharded by occupied mask.
@@ -243,8 +263,18 @@ type Result struct {
 	// StatesInterned sums the interned state-graph sizes over all
 	// branches and tiers — the measure of the symmetry quotient's
 	// frontier compression (schedule-dependent under a parallel search,
-	// like TablesExplored).
+	// like TablesExplored). A branch's graph is the same whether built
+	// fresh or inherited, so the metric is mode-independent.
 	StatesInterned int64
+	// StatesReexpanded counts expand() calls actually performed — in
+	// incremental mode only dirty states and the unlocked frontier, with
+	// full re-analysis every interned state — so the incremental reuse
+	// compression is StatesReexpanded(NoIncremental) / StatesReexpanded.
+	StatesReexpanded int64
+	// BranchesReused counts table branches analyzed incrementally from
+	// their parent's snapshot (all non-root branches unless
+	// NoIncremental is set or a snapshot was dropped by cancellation).
+	BranchesReused int64
 }
 
 // Solve decides whether exclusive perpetual graph searching with K robots
@@ -277,6 +307,7 @@ func (s *Solver) Solve() (Result, error) {
 			maxExpansions: int64(s.MaxExpansions), // budget per tier
 			maxCycleLen:   s.MaxCycleLen,
 			quotient:      !s.NoQuotient,
+			incremental:   !s.NoIncremental,
 			starts:        starts,
 			obs:           s.obsCache,
 			queue:         newWorkQueue(),
@@ -302,6 +333,8 @@ func (s *Solver) Solve() (Result, error) {
 		wg.Wait()
 		res.TablesExplored += int(ts.tables.Load())
 		res.StatesInterned += ts.statesInterned.Load()
+		res.StatesReexpanded += ts.statesReexpanded.Load()
+		res.BranchesReused += ts.branchesReused.Load()
 		// A survivor settles the tier even if a racing worker exhausted
 		// the budget on a branch the survivor made irrelevant: one table
 		// the adversary cannot beat refutes impossibility regardless of

@@ -54,6 +54,20 @@ func (s state) clearPending(u int) state {
 	return s
 }
 
+// hashState mixes the 192-bit packed state into a 64-bit hash for the
+// open-addressing intern table. A splitmix-style finalizer over the
+// three words: cheap, and strong enough that linear probing stays short
+// at the table's 3/4 load cap.
+func hashState(s state) uint64 {
+	h := s.occupied
+	h = (h ^ s.pending[0]*0xbf58476d1ce4e5b9) * 0x9e3779b97f4a7c15
+	h = (h ^ s.pending[1]*0x94d049bb133111eb) * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 29
+	return h
+}
+
 // config materializes the occupied set as a configuration value.
 func (s state) config(n int) config.Config {
 	nodes := make([]int, 0, 8)
