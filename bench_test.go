@@ -183,25 +183,33 @@ func BenchmarkImpossibility(b *testing.B) {
 // BenchmarkFeasibilitySolve measures full impossibility solves on the
 // Theorem 5 cases, sequential (workers=1, isolating the single-thread
 // interning win) and parallel (workers=GOMAXPROCS, the sharded table
-// search). The incremental=off rows keep the full-reanalysis oracle's
-// cost on record, quantifying the sibling-branch reuse win over time.
+// search). The incremental=off and prune=off rows keep the respective
+// differential oracles' cost on record, quantifying the sibling-branch
+// reuse and tree-level pruning wins over time.
 func BenchmarkFeasibilitySolve(b *testing.B) {
 	for _, tc := range []struct {
 		n, k, workers int
 		noIncremental bool
+		noPrune       bool
 	}{
-		{7, 4, 1, false}, {7, 4, 0, false}, {8, 5, 1, false}, {8, 5, 0, false},
-		{7, 4, 1, true}, {8, 5, 1, true},
+		{7, 4, 1, false, false}, {7, 4, 0, false, false},
+		{8, 5, 1, false, false}, {8, 5, 0, false, false},
+		{7, 4, 1, true, false}, {8, 5, 1, true, false},
+		{7, 4, 1, false, true}, {8, 5, 1, false, true},
 	} {
 		name := fmt.Sprintf("n=%d/k=%d/workers=%d", tc.n, tc.k, tc.workers)
 		if tc.noIncremental {
 			name += "/incremental=off"
+		}
+		if tc.noPrune {
+			name += "/prune=off"
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := feasibility.NewSolver(tc.n, tc.k)
 				s.Workers = tc.workers
 				s.NoIncremental = tc.noIncremental
+				s.NoPrune = tc.noPrune
 				res, err := s.Solve()
 				if err != nil {
 					b.Fatal(err)

@@ -58,6 +58,21 @@ type report struct {
 	NumCPU     int      `json:"num_cpu"`
 	Repeats    int      `json:"repeats,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
+	// SolverCounters records the tree-level statistics of reference
+	// impossibility solves (explored tables, memo hits, dominated
+	// branches, …) so the pruning trajectory is tracked alongside the
+	// timing rows. Ignored by cmd/benchdiff (which gates only ns/op).
+	SolverCounters []solverCounters `json:"solver_counters,omitempty"`
+}
+
+// solverCounters is one reference solve's tree-level statistics.
+type solverCounters struct {
+	Case              string `json:"case"`
+	TablesExplored    int    `json:"tables_explored"`
+	TablesMemoHit     int64  `json:"tables_memo_hit"`
+	BranchesDominated int64  `json:"branches_dominated"`
+	BranchesReused    int64  `json:"branches_reused"`
+	StatesReexpanded  int64  `json:"states_reexpanded"`
 }
 
 type family struct {
@@ -175,25 +190,33 @@ func families() []family {
 
 	// Full solver runs, sequential vs parallel (the sharded table search;
 	// on a single-vCPU runner both land in the same ballpark). The
-	// incremental=off rows keep the full-reanalysis oracle's cost on
-	// record, quantifying the sibling-branch reuse win over time.
+	// incremental=off and prune=off rows keep the respective oracles'
+	// cost on record, quantifying the sibling-branch reuse and
+	// tree-level pruning wins over time.
 	for _, tc := range []struct {
 		n, k, workers int
 		noIncremental bool
+		noPrune       bool
 	}{
-		{7, 4, 1, false}, {7, 4, 0, false}, {8, 5, 1, false}, {8, 5, 0, false},
-		{7, 4, 1, true}, {8, 5, 1, true},
+		{7, 4, 1, false, false}, {7, 4, 0, false, false},
+		{8, 5, 1, false, false}, {8, 5, 0, false, false},
+		{7, 4, 1, true, false}, {8, 5, 1, true, false},
+		{7, 4, 1, false, true}, {8, 5, 1, false, true},
 	} {
 		tc := tc
 		name := fmt.Sprintf("FeasibilitySolve/n=%d/k=%d/workers=%d", tc.n, tc.k, tc.workers)
 		if tc.noIncremental {
 			name += "/incremental=off"
 		}
+		if tc.noPrune {
+			name += "/prune=off"
+		}
 		add(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := feasibility.NewSolver(tc.n, tc.k)
 				s.Workers = tc.workers
 				s.NoIncremental = tc.noIncremental
+				s.NoPrune = tc.noPrune
 				res, err := s.Solve()
 				if err != nil {
 					b.Fatal(err)
@@ -325,6 +348,31 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, res)
 		fmt.Printf("%-32s %12.1f ns/op %8d allocs/op %10d B/op  (±%.0f over %d runs)\n",
 			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.NsPerOpStdd, res.Repeats)
+	}
+
+	// Reference tree-level counters (skipped under -filter, which is
+	// used for quick timing passes).
+	if *filter == "" {
+		for _, tc := range []struct{ n, k int }{{7, 4}, {8, 5}, {9, 4}} {
+			s := feasibility.NewSolver(tc.n, tc.k)
+			s.Workers = 1
+			res, err := s.Solve()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			sc := solverCounters{
+				Case:              fmt.Sprintf("n=%d/k=%d", tc.n, tc.k),
+				TablesExplored:    res.TablesExplored,
+				TablesMemoHit:     res.TablesMemoHit,
+				BranchesDominated: res.BranchesDominated,
+				BranchesReused:    res.BranchesReused,
+				StatesReexpanded:  res.StatesReexpanded,
+			}
+			rep.SolverCounters = append(rep.SolverCounters, sc)
+			fmt.Printf("counters %-12s tables=%d memoHit=%d dominated=%d reused=%d reexpanded=%d\n",
+				sc.Case, sc.TablesExplored, sc.TablesMemoHit, sc.BranchesDominated, sc.BranchesReused, sc.StatesReexpanded)
+		}
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

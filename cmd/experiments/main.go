@@ -180,7 +180,11 @@ func e4Impossibility(full bool) {
 	// parent's snapshot; states-reexpanded is the expansion work
 	// actually performed, so tables-explored × graph size vs
 	// states-reexpanded shows the compression incremental reuse buys.
-	fmt.Println("  (k,n)   paper-claims  solver-verdict  tables-explored  branches-reused  states-reexpanded  time")
+	// memo-hit and dominated count child branches the tree-level
+	// pruning layer refuted without analysis (they never reach
+	// tables-explored): the subtable nogood memo and the one-step
+	// dominance probe respectively.
+	fmt.Println("  (k,n)   paper-claims  solver-verdict  tables-explored  branches-reused  states-reexpanded  memo-hit  dominated  time")
 	for _, tc := range cases {
 		t0 := time.Now()
 		s := feasibility.NewSolver(tc.n, tc.k)
@@ -202,8 +206,9 @@ func e4Impossibility(full bool) {
 			// expected to end this way.
 			verdict = "survivor (bounded adversary; inconclusive)"
 		}
-		fmt.Printf("  (%d,%d)  %-12s  %-38s  %15d  %15d  %17d  %v\n",
+		fmt.Printf("  (%d,%d)  %-12s  %-38s  %15d  %15d  %17d  %8d  %9d  %v\n",
 			tc.k, tc.n, tc.claim, verdict, res.TablesExplored, res.BranchesReused, res.StatesReexpanded,
+			res.TablesMemoHit, res.BranchesDominated,
 			time.Since(t0).Round(time.Millisecond))
 	}
 	if !full {

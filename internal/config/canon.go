@@ -313,6 +313,22 @@ func (ck CanonKey) Less(o CanonKey) bool {
 	return ck.str < o.str
 }
 
+// Hash mixes the key into a 64-bit value for sharding and open
+// addressing (splitmix-style finalizer over the packed word, folding in
+// the fallback string when present). Not a cryptographic hash; equal
+// keys hash equal, distinct keys collide only by chance.
+func (ck CanonKey) Hash() uint64 {
+	h := ck.word
+	if ck.str != "" {
+		for i := 0; i < len(ck.str); i++ {
+			h = (h ^ uint64(ck.str[i])) * 0x100000001b3
+		}
+	}
+	h = (h ^ h>>30) * 0xbf58476d1ce4e5b9
+	h = (h ^ h>>27) * 0x94d049bb133111eb
+	return h ^ h>>31
+}
+
 // View decodes the key back into the interval sequence it encodes.
 func (ck CanonKey) View() View {
 	if ck.str != "" {

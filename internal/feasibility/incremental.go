@@ -155,6 +155,16 @@ func (w *searcher) analyzeIncremental(nd *tableNode) (win bool, neededObs ObsKey
 	// Re-expand the dirty states under the child table (their windows
 	// are replaced; the old windows become arena garbage), then expand
 	// the newly-discovered frontier exactly as the full BFS would.
+	// Dirty states are visited in collision-likelihood order — pending
+	// executions first, discovery order as the fallback within each
+	// rank — so win-by-collision branches short-circuit as early as
+	// possible (the PR 4 follow-up: a pending move fired into a changed
+	// occupancy is the cheapest win to detect). The per-branch outputs
+	// are order-independent: a win is a win whichever dirty state
+	// trips it first, and a non-winning branch re-expands every dirty
+	// state regardless, with selectNeeded and the contamination replay
+	// both insensitive to interning order.
+	w.orderDirtyByCollision()
 	for _, id := range w.dirtyList {
 		if err := w.checkAbort(); err != nil {
 			return false, ObsKey{}, 0, err
@@ -186,17 +196,17 @@ func (w *searcher) analyzeIncremental(nd *tableNode) (win bool, neededObs ObsKey
 
 	w.computeSCCs()
 	w.markDirtyComps(inherited)
+	cleanHead := func(id int32) bool {
+		// Identical inputs to the parent's hunt from this head (same
+		// component set, same edge windows, same stem), which found
+		// nothing — skip it. Sound for the bounded-multiplicity pass
+		// too: the parent ran the same pass over the same inputs.
+		return id < inherited && !w.compDirty[w.scc[id]] && w.cont[id] == w.prevCont[id]
+	}
 	var caps [3]int
 	for _, lengthCap := range w.lengthCaps(&caps) {
 		for id := int32(0); int(id) < len(w.states); id++ {
-			comp := w.scc[id]
-			if comp < 0 {
-				continue
-			}
-			if id < inherited && !w.compDirty[comp] && w.cont[id] == w.prevCont[id] {
-				// Identical inputs to the parent's hunt from this head
-				// (same component set, same edge windows, same stem),
-				// which found nothing — skip it.
+			if w.scc[id] < 0 || cleanHead(id) {
 				continue
 			}
 			bad, err := w.findBadCycle(id, lengthCap)
@@ -208,9 +218,43 @@ func (w *searcher) analyzeIncremental(nd *tableNode) (win bool, neededObs ObsKey
 			}
 		}
 	}
+	if bad, err := w.huntNonSimple(cleanHead); bad || err != nil {
+		if err != nil {
+			return false, ObsKey{}, 0, err
+		}
+		return true, ObsKey{}, 0, nil
+	}
 
 	best, bestMask := w.selectNeeded()
 	return false, best, bestMask, nil
+}
+
+// orderDirtyByCollision reorders w.dirtyList so states holding pending
+// executions come first (more pendings first), keeping discovery order
+// within each rank. A counting pass over the small pending range keeps
+// the reorder allocation-free and deterministic.
+func (w *searcher) orderDirtyByCollision() {
+	if !w.ts.collisionOrder || len(w.dirtyList) < 2 {
+		return
+	}
+	maxPend := 0
+	for _, id := range w.dirtyList {
+		if c := w.states[id].pendingCount(); c > maxPend {
+			maxPend = c
+		}
+	}
+	if maxPend == 0 {
+		return // tier 0, or no pending-holding dirty state: order unchanged
+	}
+	w.dirtyTmp = append(w.dirtyTmp[:0], w.dirtyList...)
+	w.dirtyList = w.dirtyList[:0]
+	for rank := maxPend; rank >= 0; rank-- {
+		for _, id := range w.dirtyTmp {
+			if w.states[id].pendingCount() == rank {
+				w.dirtyList = append(w.dirtyList, id)
+			}
+		}
+	}
 }
 
 // recomputeCont replays the canonical discovery BFS of a full analyze

@@ -3,6 +3,7 @@ package feasibility
 import (
 	"math/rand"
 	"os"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -165,39 +166,91 @@ func TestIncrementalMatchesFullTheorem5(t *testing.T) {
 	}
 }
 
-// TestLongRunWideRingIncremental is the opt-in probe of incremental
-// re-analysis on the wide k = 3 drains — the cases where k = 3 on a
-// wide ring multiplies table branches, not state orbits. Sibling-branch
-// reuse cuts the charged budget to ≈ 4.8 units/branch (vs ≈ 34 under
-// full re-analysis), so the default 250M budget now covers ≈ 52M
-// branches at ≈ 180k branches/s (measured on the reference container,
-// (3,19)): a ~7× deeper drain per budget. The (3,19)/(3,20) trees are
-// larger still, so those runs end with ErrBudget after ~5 minutes —
-// wall-clock-bound now, not budget-starved; (3,18) and (3,21) complete
-// immediately. The probe reports whatever it reaches and fails only on
-// unexpected errors.
+// TestLongRunWideRingIncremental is the opt-in probe of the wide k = 3
+// drains — the cases where k = 3 on a wide ring multiplies table
+// branches, not state orbits. Incremental sibling-branch reuse (PR 4)
+// cut the charged budget to ≈ 4.8 units/branch; the tree-level pruning
+// layer (prune.go) attacks the branch count itself, so the probe now
+// reports the memo/dominance counters alongside the reuse ones — the
+// evidence for how much of a drain's tree pruning removes at a given
+// budget. (3,19)/(3,20) remain wall-clock-bound under default budgets;
+// (3,18) and (3,21) complete immediately. The probe reports whatever it
+// reaches and fails only on unexpected errors.
 //
 // The (3,20) row runs a bounded 10M-unit probe so the test fits go
 // test's default 10-minute timeout; a full-budget drain needs
-// -timeout 0 and the patience for a multi-hour wall-clock run.
+// -timeout 0 and the patience for a multi-hour wall-clock run. The
+// scheduled CI probe (.github/workflows/wideprobe.yml) sets T5BUDGET to
+// cap every row's budget (and adds the (3,19) row), so the weekly
+// artifact records counter trajectories at a fixed, affordable cost.
 //
 //	T5LONG=1 go test ./internal/feasibility -run TestLongRunWideRingIncremental -v
+//	T5LONG=1 T5BUDGET=2000000 go test ./internal/feasibility -run TestLongRunWideRingIncremental -v
 func TestLongRunWideRingIncremental(t *testing.T) {
 	if os.Getenv("T5LONG") == "" {
 		t.Skip("set T5LONG=1 to run the wide-ring k=3 drains with timing")
 	}
-	for _, tc := range []struct{ n, budget int }{{18, 0}, {21, 0}, {20, 10_000_000}} {
+	override := 0
+	if v := os.Getenv("T5BUDGET"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			override = parsed
+		}
+	}
+	cases := []struct{ n, budget int }{{18, 0}, {21, 0}, {20, 10_000_000}}
+	if override > 0 {
+		cases = append(cases, struct{ n, budget int }{19, 0})
+	}
+	for _, tc := range cases {
 		t0 := time.Now()
 		s := NewSolver(tc.n, 3)
 		if tc.budget > 0 {
 			s.MaxExpansions = tc.budget
 		}
+		if override > 0 {
+			s.MaxExpansions = override
+		}
 		res, err := s.Solve()
-		t.Logf("(3,%d): impossible=%v tier=%d tables=%d reused=%d reexpanded=%d err=%v elapsed=%v",
+		t.Logf("(3,%d): impossible=%v tier=%d tables=%d reused=%d reexpanded=%d memoHits=%d dominated=%d err=%v elapsed=%v",
 			tc.n, res.Impossible, res.Tier, res.TablesExplored, res.BranchesReused,
-			res.StatesReexpanded, err, time.Since(t0).Round(time.Millisecond))
+			res.StatesReexpanded, res.TablesMemoHit, res.BranchesDominated,
+			err, time.Since(t0).Round(time.Millisecond))
 		if err != nil && err != ErrBudget {
 			t.Fatalf("(3,%d): unexpected error: %v", tc.n, err)
+		}
+	}
+}
+
+// TestCollisionOrderOutputEquality pins the collision-likelihood
+// re-expansion order (pending executions first) to the exact same
+// outputs as the discovery-order fallback: a win is a win whichever
+// dirty state trips it, and on non-winning branches every dirty state
+// is re-expanded regardless of order, so verdict, tier, the explored
+// tree and survivor existence must all be identical — only
+// StatesReexpanded may differ (the point of the heuristic is stopping
+// win-by-collision branches sooner). Covers the pending tiers, where
+// the ordering actually reorders something (at tier 0 no state holds a
+// pending move and the heuristic is a provable no-op).
+func TestCollisionOrderOutputEquality(t *testing.T) {
+	cases := []struct{ n, k int }{{7, 4}, {8, 5}, {7, 3}, {6, 4}}
+	if !testing.Short() {
+		cases = append(cases, struct{ n, k int }{9, 5})
+	}
+	for _, tc := range cases {
+		ordered := solveIncMode(t, tc.n, tc.k, false, nil)
+		discovery := solveIncMode(t, tc.n, tc.k, false, func(s *Solver) { s.noCollisionOrder = true })
+		if ordered.Impossible != discovery.Impossible || ordered.Tier != discovery.Tier {
+			t.Errorf("(k=%d,n=%d): verdict/tier differs between re-expansion orders", tc.k, tc.n)
+		}
+		if ordered.TablesExplored != discovery.TablesExplored {
+			t.Errorf("(k=%d,n=%d): tree shape differs: collision-order explored %d tables, discovery-order %d",
+				tc.k, tc.n, ordered.TablesExplored, discovery.TablesExplored)
+		}
+		if (ordered.SurvivorTable == nil) != (discovery.SurvivorTable == nil) {
+			t.Errorf("(k=%d,n=%d): survivor existence differs between re-expansion orders", tc.k, tc.n)
+		}
+		if tc.k == 5 && tc.n == 9 {
+			t.Logf("(5,9): reexpanded collision-order=%d discovery-order=%d",
+				ordered.StatesReexpanded, discovery.StatesReexpanded)
 		}
 	}
 }

@@ -28,6 +28,12 @@ type tableNode struct {
 	// frontier that binding unlocks instead of rebuilding the graph.
 	// See incremental.go.
 	snap *branchSnap
+	// openKids counts children enqueued but not yet refuted. When a
+	// refuted child drops it to zero the node itself is refuted and the
+	// closure propagates upward, recording subtree nogoods and
+	// refutation credits along the way (prune.go). Untouched without
+	// pruning.
+	openKids atomic.Int32
 }
 
 // materializeInto rebuilds the chain as a lookup map (cleared first).
@@ -235,9 +241,25 @@ type tierSearch struct {
 	// graph from scratch (incremental.go). Off, the tier runs the
 	// verbatim full-reanalysis oracle.
 	incremental bool
-	starts      []state
-	obs         *obsCache
-	queue       *workQueue
+	// collisionOrder re-expands dirty states in collision-likelihood
+	// order (pending executions first) instead of discovery order
+	// (incremental.go); the per-branch outputs are identical either
+	// way, only how soon a win-by-collision branch short-circuits.
+	collisionOrder bool
+	// prune is the solve-wide pruning state (observation refutation
+	// credits + the subtable nogood memo), shared by every worker of
+	// every tier; nil under Solver.NoPrune. See prune.go.
+	prune *pruneState
+	// recordNogoods enables nogood recording for this tier. Only
+	// non-final tiers record: a nogood can only ever be consumed by a
+	// *later* tier of the ladder (within one tier the search never
+	// revisits a table, and cousin subtrees assembling supersets of an
+	// interior refutation measure zero across the paper cases), so
+	// recording at the final tier is provably pure overhead.
+	recordNogoods bool
+	starts        []state
+	obs           *obsCache
+	queue         *workQueue
 
 	expansions atomic.Int64
 	tables     atomic.Int64
@@ -254,7 +276,13 @@ type tierSearch struct {
 	// branchesReused counts branches analyzed incrementally from a
 	// parent snapshot.
 	branchesReused atomic.Int64
-	stop           atomic.Bool
+	// memoHits counts child branches refuted by the subtable nogood
+	// memo without being enqueued; dominated counts children refuted by
+	// the one-step dominance probe. Both are tree-level prunes: the
+	// branches never reach TablesExplored.
+	memoHits  atomic.Int64
+	dominated atomic.Int64
+	stop      atomic.Bool
 
 	// snapPool recycles released branch snapshots (their array capacity)
 	// across workers.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ringrobots/internal/config"
 	"ringrobots/internal/ring"
 )
 
@@ -187,7 +188,13 @@ func TestQuotientMatchesOracleSmall(t *testing.T) {
 // steps (a canonical self-loop lifts to an up-to-n-step raw cycle), so
 // a deliberately starved cap — MaxCycleLen = 1, as in
 // TestSurvivorIndependentOfSchedule — cripples the oracle more than the
-// quotient and the two legitimately disagree.
+// quotient and the two legitimately disagree. The bounded-multiplicity
+// hunt widens that starved-cap gap (a 2-step projected loop through a
+// revisited canonical state lifts to a raw cycle far beyond an equal
+// raw cap), so caps below 6 stay excluded here; at saturating caps the
+// trials now also exercise orbit-mate loops — dense k (n−2, n−3)
+// instances where the revisit hunt fires — and the contract must still
+// hold. TestRevisitCatchesOrbitMateLoop pins one such loop exactly.
 func TestQuotientMatchesOracleRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	trials := 12
@@ -197,12 +204,77 @@ func TestQuotientMatchesOracleRandomized(t *testing.T) {
 	for trial := 0; trial < trials; trial++ {
 		n := 3 + rng.Intn(6) // 3..8
 		k := 1 + rng.Intn(n-1)
+		if trial%3 == 0 && n >= 5 {
+			k = n - 2 - rng.Intn(2) // symmetric-rich band: orbit-mate loops live here
+		}
 		cycleLen := []int{6, 12, 24}[rng.Intn(3)]
 		tiers := [][]int{{0}, {0, 1}, {0, 2}}[rng.Intn(3)]
 		checkModesAgree(t, n, k, func(s *Solver) {
 			s.MaxCycleLen = cycleLen
 			s.PendingTiers = tiers
 		})
+	}
+}
+
+// TestRevisitCatchesOrbitMateLoop pins the bounded-multiplicity lasso
+// hunt on a concrete (5,8) decision table whose only adversary win is a
+// fair starvation loop visiting two orbit-mates — raw states on one
+// loop that canonicalize to the same quotient state. The simple-cycle
+// DFS cannot traverse that projection (it would have to enter the
+// canonical state twice), so before the revisit hunt the quotiented
+// searcher failed to refute this table and branched on; it was the one
+// table in the whole (5,8) tree with that blind spot (the unquotiented
+// oracle refutes it outright, which is part of why it closed branches
+// earlier — the PR 3 follow-up). The entries were extracted by diffing
+// the two searchers' refutation sets.
+func fixtureTable() Table {
+	key := func(lo, hi config.View) ObsKey {
+		return ObsKey{Lo: config.KeyOf(lo), Hi: config.KeyOf(hi)}
+	}
+	return Table{
+		key(config.View{0, 0, 2, 0, 1}, config.View{1, 0, 2, 0, 0}): DTowardHi,
+		key(config.View{0, 2, 0, 0, 1}, config.View{1, 0, 0, 2, 0}): DTowardHi,
+		key(config.View{0, 1, 0, 2, 0}, config.View{0, 2, 0, 1, 0}): DStay,
+		key(config.View{0, 1, 1, 1, 0}, config.View{0, 1, 1, 1, 0}): DStay,
+		key(config.View{0, 0, 0, 1, 2}, config.View{2, 1, 0, 0, 0}): DStay,
+		key(config.View{0, 0, 1, 0, 2}, config.View{2, 0, 1, 0, 0}): DTowardHi,
+		key(config.View{1, 0, 1, 0, 1}, config.View{1, 0, 1, 0, 1}): DStay,
+		key(config.View{0, 0, 0, 3, 0}, config.View{0, 3, 0, 0, 0}): DStay,
+		key(config.View{0, 0, 1, 2, 0}, config.View{0, 2, 1, 0, 0}): DStay,
+		key(config.View{0, 0, 1, 1, 1}, config.View{1, 1, 1, 0, 0}): DStay,
+		key(config.View{0, 1, 1, 0, 1}, config.View{1, 0, 1, 1, 0}): DStay,
+		key(config.View{0, 0, 0, 2, 1}, config.View{1, 2, 0, 0, 0}): DTowardHi,
+		key(config.View{0, 0, 3, 0, 0}, config.View{0, 0, 3, 0, 0}): DStay,
+		key(config.View{0, 1, 0, 0, 2}, config.View{2, 0, 0, 1, 0}): DTowardHi,
+		key(config.View{0, 0, 2, 1, 0}, config.View{0, 1, 2, 0, 0}): DStay,
+		key(config.View{0, 1, 0, 1, 1}, config.View{1, 1, 0, 1, 0}): DTowardHi,
+	}
+}
+
+func TestRevisitCatchesOrbitMateLoop(t *testing.T) {
+	table := fixtureTable()
+	for _, noQuotient := range []bool{false, true} {
+		s := NewSolver(8, 5)
+		ts := &tierSearch{
+			n:             s.N,
+			k:             s.K,
+			pendingLimit:  0,
+			maxExpansions: int64(s.MaxExpansions),
+			maxCycleLen:   s.MaxCycleLen,
+			quotient:      !noQuotient,
+			starts:        s.initialStates(),
+			obs:           newObsCache(s.N),
+			queue:         newWorkQueue(),
+		}
+		w := newSearcher(ts)
+		w.table = table
+		win, _, _, err := w.analyze()
+		if err != nil {
+			t.Fatalf("noQuotient=%v: %v", noQuotient, err)
+		}
+		if !win {
+			t.Errorf("noQuotient=%v: orbit-mate starvation loop not found — the fixture table must be refuted in both modes", noQuotient)
+		}
 	}
 }
 

@@ -122,6 +122,7 @@ type searcher struct {
 	dirtyMark    []uint64
 	dirtyEpoch   uint64
 	dirtyList    []int32
+	dirtyTmp     []int32
 	order        []int32
 	compDirty    []bool
 	compPrev     []int32
@@ -159,6 +160,15 @@ type searcher struct {
 	groupBuf []obsInfo
 	dirs     []ring.Direction
 
+	// Pruning scratch: the distinct-observation aggregation of
+	// selectNeededScored, and the per-component flag of the
+	// bounded-multiplicity lasso hunt (true when the component carries
+	// an in-component non-identity-isometry edge — the profile gate for
+	// non-simple projected cycles).
+	agg        []obsAgg
+	compIso    []bool
+	anchorHash []uint64
+
 	// local is the expansion count not yet flushed to the shared budget.
 	local int64
 }
@@ -168,6 +178,14 @@ type searcher struct {
 type waiter struct {
 	obs   ObsKey
 	id    int32
+	legal uint8
+}
+
+// obsAgg is one distinct undefined observation in selectNeededScored's
+// aggregation: how many waiter registrations it has and its legal mask.
+type obsAgg struct {
+	obs   ObsKey
+	count int32
 	legal uint8
 }
 
@@ -208,6 +226,12 @@ func (w *searcher) canonState(s state) (state, isom) {
 // tree — and, per worker count, every Result field except the work
 // counters — is identical in both modes. Branches that fan out publish
 // a snapshot of the finished analysis for their children in turn.
+//
+// With pruning on (the default), candidate children are filtered before
+// they are enqueued — the dominance probe and the subtable nogood memo
+// refute some without analysis (prune.go) — and every refuted branch
+// propagates a closure up the tree, feeding the refutation credits that
+// drive the branching-observation order.
 func (w *searcher) process(nd *tableNode) {
 	if w.ts.stop.Load() {
 		return
@@ -237,20 +261,53 @@ func (w *searcher) process(nd *tableNode) {
 		return
 	}
 	if win {
+		w.closeRefuted(nd, true)
 		return
 	}
 	if legal == 0 {
 		w.ts.foundSurvivor(nd.toTable())
 		return
 	}
-	var snap *branchSnap
-	if w.ts.incremental {
-		snap = w.publishSnap(bits.OnesCount8(legal))
+	var kept [4]Decision
+	nk := 0
+	pr := w.ts.prune
+	var tsig uint64
+	checkNogoods := pr != nil && pr.recorded.Load() > 0
+	if checkNogoods {
+		tsig, w.anchorHash = tableSigAndAnchors(w.table, w.anchorHash)
 	}
 	for d := DEither; d >= DStay; d-- {
-		if legal&(1<<uint(d)) != 0 {
-			w.ts.queue.push(&tableNode{parent: nd, obs: needed, d: d, snap: snap})
+		if legal&(1<<uint(d)) == 0 {
+			continue
 		}
+		if pr != nil {
+			if w.dominatedChild(needed, d) {
+				w.ts.dominated.Add(1)
+				pr.addCredit(needed)
+				continue
+			}
+			if checkNogoods && pr.nogoodHit(w.ts.pendingLimit, w.table, tsig, w.anchorHash, needed, d) {
+				w.ts.memoHits.Add(1)
+				pr.addCredit(needed)
+				continue
+			}
+		}
+		kept[nk] = d
+		nk++
+	}
+	if nk == 0 {
+		// Every candidate child was refuted without analysis: the
+		// branch itself is a refuted subtree root.
+		w.closeRefuted(nd, false)
+		return
+	}
+	var snap *branchSnap
+	if w.ts.incremental {
+		snap = w.publishSnap(nk)
+	}
+	nd.openKids.Store(int32(nk))
+	for i := 0; i < nk; i++ {
+		w.ts.queue.push(&tableNode{parent: nd, obs: needed, d: kept[i], snap: snap})
 	}
 }
 
@@ -276,11 +333,21 @@ func (w *searcher) checkAbort() error {
 	return nil
 }
 
-// flush publishes the residual local expansion count.
+// flush publishes the residual local expansion count and enforces the
+// budget at the branch boundary. The enforcement here is load-bearing:
+// checkAbort only tests the budget every expansionBatch units of
+// locally accumulated work, and on branch-cheap drains (a few dozen
+// charged units per branch under incremental reuse and pruning) the
+// local counter is reset by this flush before ever reaching the batch
+// size — without the test below, small probe budgets were ignored
+// entirely and the queue drained on wall clock alone.
 func (w *searcher) flush() {
 	if w.local > 0 {
-		w.ts.expansions.Add(w.local)
+		total := w.ts.expansions.Add(w.local)
 		w.local = 0
+		if total > w.ts.maxExpansions && !w.ts.stop.Load() {
+			w.ts.fail(ErrBudget)
+		}
 	}
 }
 
@@ -358,6 +425,12 @@ func (w *searcher) analyze() (win bool, neededObs ObsKey, legal uint8, err error
 			}
 		}
 	}
+	if bad, err := w.huntNonSimple(nil); bad || err != nil {
+		if err != nil {
+			return false, ObsKey{}, 0, err
+		}
+		return true, ObsKey{}, 0, nil
+	}
 
 	best, bestMask := w.selectNeeded()
 	return false, best, bestMask, nil
@@ -378,14 +451,19 @@ func (w *searcher) lengthCaps(caps *[3]int) []int {
 	return caps[:]
 }
 
-// selectNeeded picks the branching observation: the undefined
-// observation with the fewest legal decisions (smallest fan-out first
-// keeps the table tree narrow), ties broken by the deterministic ObsKey
-// order. Duplicate registrations are harmless under the min, and the
-// defined-in-table filter is defensive: registrations only ever happen
-// for unknown observations and incremental adoption drops entries the
-// branch's new binding resolved.
+// selectNeeded picks the branching observation. With pruning on it
+// defers to the refutation-guided order below; the NoPrune oracle keeps
+// the historical choice — the undefined observation with the fewest
+// legal decisions (smallest fan-out first keeps the table tree narrow),
+// ties broken by the deterministic ObsKey order. Duplicate
+// registrations are harmless under the min, and the defined-in-table
+// filter is defensive: registrations only ever happen for unknown
+// observations and incremental adoption drops entries the branch's new
+// binding resolved.
 func (w *searcher) selectNeeded() (ObsKey, uint8) {
+	if w.ts.prune != nil {
+		return w.selectNeededScored(w.ts.prune)
+	}
 	var best ObsKey
 	var bestMask uint8
 	bestOptions := 1 << 30
@@ -399,6 +477,52 @@ func (w *searcher) selectNeeded() (ObsKey, uint8) {
 			best = e.obs
 			bestMask = e.legal
 			bestOptions = opts
+		}
+	}
+	return best, bestMask
+}
+
+// selectNeededScored is the refutation-guided branching order: pick the
+// undefined observation with the highest score = waiting-state count +
+// pruneCreditWeight × refutation credit, ties broken by fewer legal
+// decisions, then ObsKey order. Binding the most-waited observation
+// constrains the most states at once — refuting subtrees surface before
+// the combinatorial bulk, which is worth orders of magnitude on the
+// deep drains ((4,9): 145 986 → 89 explored tables, with the
+// dominance probe and per-tier credits; prune.go). The credit term
+// steers later siblings toward observations whose bindings have already
+// refuted branches elsewhere in the tree. The argmax is total (score,
+// fan-out, key), so the choice is independent of waiter registration
+// order — which differs between incremental and full re-analysis.
+func (w *searcher) selectNeededScored(pr *pruneState) (ObsKey, uint8) {
+	w.agg = w.agg[:0]
+	for i := range w.waiters {
+		e := &w.waiters[i]
+		if _, defined := w.table[e.obs]; defined {
+			continue
+		}
+		found := false
+		for j := range w.agg {
+			if w.agg[j].obs == e.obs {
+				w.agg[j].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			w.agg = append(w.agg, obsAgg{obs: e.obs, count: 1, legal: e.legal})
+		}
+	}
+	var best ObsKey
+	var bestMask uint8
+	bestScore := int64(-1)
+	bestOpts := 1 << 30
+	for j := range w.agg {
+		a := &w.agg[j]
+		score := int64(a.count) + pruneCreditWeight*pr.creditOf(a.obs)
+		opts := bits.OnesCount8(a.legal)
+		if score > bestScore || (score == bestScore && (opts < bestOpts || (opts == bestOpts && a.obs.Less(best)))) {
+			best, bestMask, bestScore, bestOpts = a.obs, a.legal, score, opts
 		}
 	}
 	return best, bestMask
@@ -591,36 +715,45 @@ func (w *searcher) enumGroupCombos(id int32, st state, d Decision, idx int) (col
 	return false
 }
 
-// applyGroupMove executes the simultaneous moves of w.groupBuf along
-// w.dirs. It reports a collision when two robots end on one node
-// (including a mover landing on a non-mover). A simultaneous swap of
-// adjacent robots is conservatively treated as legal (configuration
-// unchanged), keeping the modeled adversary no stronger than the paper's.
-func (w *searcher) applyGroupMove(id int32, st state) (collision bool) {
-	var targets, origins, mcw, mccw uint64
+// groupMoveMasks resolves the simultaneous moves of w.groupBuf along
+// w.dirs into (targets, origins) masks, reporting a collision when two
+// movers end on one node or a mover lands on a robot that did not move.
+// A simultaneous swap of adjacent robots is conservatively treated as
+// legal (configuration unchanged), keeping the modeled adversary no
+// stronger than the paper's. Shared by the expansion's group step and
+// the pre-enqueue dominance probe (prune.go), so the two can never
+// disagree about what collides.
+func (w *searcher) groupMoveMasks(st state) (targets, origins uint64, collision bool) {
 	for i := range w.groupBuf {
-		u := w.groupBuf[i].node
-		to := w.step(u, w.dirs[i])
+		to := w.step(w.groupBuf[i].node, w.dirs[i])
 		tb := uint64(1) << uint(to)
 		if targets&tb != 0 {
-			return true // two movers on one node
+			return 0, 0, true // two movers on one node
 		}
 		targets |= tb
-		origins |= 1 << uint(u)
+		origins |= 1 << uint(w.groupBuf[i].node)
+	}
+	return targets, origins, (st.occupied&^origins)&targets != 0
+}
+
+// applyGroupMove executes the simultaneous moves of w.groupBuf along
+// w.dirs, reporting a collision instead of an edge when the resolution
+// collides (see groupMoveMasks).
+func (w *searcher) applyGroupMove(id int32, st state) (collision bool) {
+	targets, origins, collides := w.groupMoveMasks(st)
+	if collides {
+		return true
+	}
+	var mcw, mccw uint64
+	for i := range w.groupBuf {
 		if w.dirs[i] == ring.CW {
-			mcw |= 1 << uint(u)
+			mcw |= 1 << uint(w.groupBuf[i].node)
 		} else {
-			mccw |= 1 << uint(u)
+			mccw |= 1 << uint(w.groupBuf[i].node)
 		}
 	}
-	// Remove origins, then add targets; overlap with a standing robot is
-	// a collision.
-	standing := st.occupied &^ origins
-	if standing&targets != 0 {
-		return true // mover landed on a robot that did not move
-	}
 	next := st
-	next.occupied = standing | targets
+	next.occupied = st.occupied&^origins | targets
 	to, g := w.edgeTo(id, next, mcw, mccw)
 	w.edges = append(w.edges, edge{
 		to: to, iso: g, acts: origins, movesCW: mcw, movesCCW: mccw,
@@ -734,6 +867,163 @@ func (w *searcher) hasMoveSelfLoop(id int32) bool {
 		}
 	}
 	return false
+}
+
+// revisitLengthCap bounds the bounded-multiplicity hunt independently
+// of MaxCycleLen. A non-simple projected loop revisits its repeated
+// state within a short window — the (5,8) blind-spot loop needs only
+// length 4, and 6 doubles that margin — while hunting revisit paths at
+// the full 24-step cap roughly doubled the per-branch cost of small
+// solves for zero extra catches on any measured case: the candidates it
+// added just burned fairness/badness lift passes.
+const revisitLengthCap = 6
+
+// huntNonSimple is the bounded-multiplicity complement of the main
+// lasso hunt, fixing the quotient's blind spot for raw starvation
+// cycles whose canonical projection revisits a state (two orbit-mates
+// on one loop — the PR 3 follow-up): the simple-cycle DFS will not
+// traverse a quotient state twice, so such loops were only caught
+// deeper in the table tree, after more branching. A projected loop can
+// only be non-simple when some edge on it renamed its target (a
+// non-identity isometry), so the hunt is gated behind a profile check:
+// only components carrying an in-component non-identity-isometry edge
+// are hunted, from every member (the non-restoring visit marks make a
+// single hunt incomplete, and restricting heads to the renaming edge's
+// endpoints measurably loses catches), with the per-candidate lift
+// validation reserved for projections that actually revisit a state.
+// The pass is free with quotienting off and on asymmetric frontiers.
+// skip optionally suppresses heads the incremental path has proven
+// unchanged (same guard as the main hunt).
+func (w *searcher) huntNonSimple(skip func(id int32) bool) (bool, error) {
+	// Mark the components carrying an in-component non-identity-isometry
+	// edge; only their members can head a non-simple projected loop (the
+	// revisited state's two frames must differ, so some loop edge
+	// renames). Every member hunts, not just the renaming edge's
+	// endpoints: the non-restoring visit marks below make each single
+	// hunt incomplete, and the known blind-spot loops are reliably found
+	// only when all loop members get a turn — restricting heads to edge
+	// endpoints measurably loses catches.
+	nc := len(w.compSize)
+	w.compIso = growBool(w.compIso, nc)
+	for c := 0; c < nc; c++ {
+		w.compIso[c] = false
+	}
+	any := false
+	for id := int32(0); int(id) < len(w.states); id++ {
+		c := w.scc[id]
+		if c < 0 || w.compIso[c] {
+			continue
+		}
+		ni := &w.info[id]
+		for x := int32(0); x < ni.edgeLen; x++ {
+			e := &w.edges[ni.edgeOff+x]
+			if !e.stay && e.iso != isoIdentity && w.scc[e.to] == c {
+				w.compIso[c] = true
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		return false, nil
+	}
+	capLen := w.ts.maxCycleLen
+	if capLen > revisitLengthCap {
+		capLen = revisitLengthCap
+	}
+	for id := int32(0); int(id) < len(w.states); id++ {
+		if w.scc[id] < 0 || !w.compIso[w.scc[id]] {
+			continue
+		}
+		if skip != nil && skip(id) {
+			continue
+		}
+		bad, err := w.findBadCycleRevisit(id, capLen)
+		if err != nil || bad {
+			return bad, err
+		}
+	}
+	return false, nil
+}
+
+// findBadCycleRevisit is findBadCycle with one revisit allowed per
+// quotient state: each state may be entered up to twice per hunt (the
+// head excluded — a loop closing at the head with a non-identity net
+// isometry is already lifted by cycleIsFairAndBad's multi-pass check).
+// Like the simple hunt, visit marks are not restored on backtrack, so
+// the cost stays linear-ish in the component (at most twice the simple
+// hunt) rather than enumerating paths.
+//
+// The epoch advances by two and stamps visitEpoch−1 (one visit) and
+// visitEpoch (two visits). Stamping *at most* the new epoch value
+// matters: the visited array and epoch counter are shared with
+// findBadCycle and recomputeCont, whose single-increment epochs test
+// equality — a mark above the counter would alias into the next
+// pass's fresh epoch and make it skip never-visited states.
+func (w *searcher) findBadCycleRevisit(head int32, lengthCap int) (bool, error) {
+	w.visited = growU64(w.visited, len(w.states))
+	w.visitEpoch += 2
+	w.visited[head] = w.visitEpoch // both visits used: never re-entered
+	w.path = w.path[:0]
+	return w.dfsCycleRevisit(head, head, w.scc[head], lengthCap)
+}
+
+func (w *searcher) dfsCycleRevisit(cur, target, comp int32, lengthCap int) (bool, error) {
+	if len(w.path) >= lengthCap {
+		return false, nil
+	}
+	ni := &w.info[cur]
+	// Two passes over the window: edges whose isometry renames first
+	// (pass 0), identity edges second — the renaming path must be
+	// marked before the plain one, or the non-restoring visit marks can
+	// wall off the non-simple loop this hunt exists to find.
+	for pass := 0; pass < 2; pass++ {
+		for x := int32(0); x < ni.edgeLen; x++ {
+			e := w.edges[ni.edgeOff+x]
+			if e.stay || (e.iso != isoIdentity) == (pass == 1) {
+				continue
+			}
+			if err := w.checkAbort(); err != nil {
+				return false, err
+			}
+			if e.to == target {
+				// Validate only candidates whose projection actually
+				// revisits a state: simple loops through this head are
+				// the main hunt's job (it ran first, at a cap at least
+				// this deep), and re-lifting them here roughly doubled
+				// the cost of small solves for zero extra catches.
+				if !w.pathRevisits(target) {
+					continue
+				}
+				w.cycle = append(w.cycle[:0], w.path...)
+				w.cycle = append(w.cycle, e)
+				bad, err := w.cycleIsFairAndBad(target)
+				if err != nil {
+					return false, err
+				}
+				if bad {
+					return true, nil
+				}
+				continue
+			}
+			v := w.visited[e.to]
+			if w.scc[e.to] != comp || v >= w.visitEpoch {
+				continue // out of component, or both visits used
+			}
+			if v == w.visitEpoch-1 {
+				w.visited[e.to] = w.visitEpoch
+			} else {
+				w.visited[e.to] = w.visitEpoch - 1
+			}
+			w.path = append(w.path, e)
+			found, err := w.dfsCycleRevisit(e.to, target, comp, lengthCap)
+			w.path = w.path[:len(w.path)-1]
+			if err != nil || found {
+				return found, err
+			}
+		}
+	}
+	return false, nil
 }
 
 // findBadCycle searches for a loop through the head state that is fair
@@ -918,4 +1208,23 @@ func growU64(s []uint64, n int) []uint64 {
 		return make([]uint64, n)
 	}
 	return s[:n]
+}
+
+// pathRevisits reports whether the candidate loop w.path (closing back
+// at target) visits any state twice — the only candidates worth
+// validating in the bounded-multiplicity hunt. Paths are at most
+// revisitLengthCap long, so the quadratic scan is a handful of word
+// compares.
+func (w *searcher) pathRevisits(target int32) bool {
+	for i := range w.path {
+		if w.path[i].to == target {
+			return true
+		}
+		for j := i + 1; j < len(w.path); j++ {
+			if w.path[j].to == w.path[i].to {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -65,6 +65,15 @@
 // second differential oracle. The state interner behind both modes is
 // an epoch-stamped open-addressing table (interntable.go) whose branch
 // reset is O(1) and whose image snapshots by memcpy.
+//
+// Above the per-branch engines sits a tree-level pruning layer
+// (prune.go): branching observations are chosen by a refutation-guided
+// score (most waiting states plus learned refutation credits) instead
+// of blind fan-out order, child branches whose new binding hands the
+// adversary an immediate win are refuted before they are enqueued, and
+// refuted subtables are memoized as nogoods that refute any later
+// superset table across workers and tiers. Solver.NoPrune retains the
+// unpruned search as the third differential oracle.
 package feasibility
 
 import (
@@ -232,6 +241,23 @@ type Solver struct {
 	// NoQuotient does for the symmetry quotient. Orthogonal to
 	// NoQuotient: all four mode combinations are valid.
 	NoIncremental bool
+	// NoPrune disables the tree-level pruning layer (prune.go): the
+	// refutation-guided branching order falls back to the historical
+	// fewest-legal-decisions choice, and no child branch is refuted
+	// without analysis by the dominance probe or the subtable nogood
+	// memo. Every prune is a branch the unpruned search provably
+	// refutes, so the two modes agree on verdict, tier and survivor
+	// validity — prune_test.go pins that contract, making this the
+	// third differential oracle alongside NoQuotient and NoIncremental.
+	// With pruning on, the explored tree is (often drastically)
+	// smaller, so TablesExplored and the work counters differ by
+	// design.
+	NoPrune bool
+	// noCollisionOrder disables the collision-likelihood ordering of
+	// dirty-state re-expansion (incremental.go), falling back to pure
+	// discovery order. Test hook: the per-branch outputs are identical
+	// either way, which incremental_test.go pins.
+	noCollisionOrder bool
 
 	// obsCache memoizes per-configuration observations across all table
 	// branches, tiers and workers, sharded by occupied mask.
@@ -275,6 +301,18 @@ type Result struct {
 	// their parent's snapshot (all non-root branches unless
 	// NoIncremental is set or a snapshot was dropped by cancellation).
 	BranchesReused int64
+	// TablesMemoHit counts child branches refuted without analysis by
+	// the subtable nogood memo: their table contained an already-refuted
+	// subtable (recorded at the same or a lower pending tier). Such
+	// branches are never enqueued and do not reach TablesExplored.
+	TablesMemoHit int64
+	// BranchesDominated counts child branches refuted without analysis
+	// by the dominance probe: their newly-bound decision handed the
+	// adversary an immediate win (a colliding same-observation group
+	// activation, or a Stay binding completing an all-stay deadlock on a
+	// contaminated ring) at a state waiting on the observation. Never
+	// enqueued, not part of TablesExplored.
+	BranchesDominated int64
 }
 
 // Solve decides whether exclusive perpetual graph searching with K robots
@@ -295,22 +333,44 @@ func (s *Solver) Solve() (Result, error) {
 		s.obsCache = newObsCache(s.N)
 	}
 	starts := s.initialStates()
+	// The pruning state spans the whole solve: refutation credits
+	// learned at one tier order the next tier's branching, and nogoods
+	// recorded at a lower pending limit remain valid at higher ones
+	// (each record carries its limit, so a non-ascending PendingTiers
+	// ladder stays sound too).
+	var prune *pruneState
+	if !s.NoPrune {
+		prune = newPruneState()
+	}
 
 	res := Result{}
-	for _, limit := range tiers {
+	for ti, limit := range tiers {
+		if prune != nil && ti > 0 {
+			// Refutation credits are per-tier statistics: a different
+			// pending allowance is a different game, and carrying tier-0
+			// credits into tier 2 measurably poisons its branching order
+			// ((5,9) explores 16–37× more tables with cross-tier credits).
+			// The nogood memo, by contrast, stays — its records are
+			// tagged with the limit they were refuted under and remain
+			// sound at stronger tiers.
+			prune.resetCredits()
+		}
 		res.Tier = limit
 		res.SurvivorTable = nil
 		ts := &tierSearch{
-			n:             s.N,
-			k:             s.K,
-			pendingLimit:  limit,
-			maxExpansions: int64(s.MaxExpansions), // budget per tier
-			maxCycleLen:   s.MaxCycleLen,
-			quotient:      !s.NoQuotient,
-			incremental:   !s.NoIncremental,
-			starts:        starts,
-			obs:           s.obsCache,
-			queue:         newWorkQueue(),
+			n:              s.N,
+			k:              s.K,
+			pendingLimit:   limit,
+			maxExpansions:  int64(s.MaxExpansions), // budget per tier
+			maxCycleLen:    s.MaxCycleLen,
+			quotient:       !s.NoQuotient,
+			incremental:    !s.NoIncremental,
+			collisionOrder: !s.noCollisionOrder,
+			prune:          prune,
+			recordNogoods:  ti < len(tiers)-1,
+			starts:         starts,
+			obs:            s.obsCache,
+			queue:          newWorkQueue(),
 		}
 		ts.queue.push(&tableNode{}) // root: the empty table
 		var wg sync.WaitGroup
@@ -335,6 +395,8 @@ func (s *Solver) Solve() (Result, error) {
 		res.StatesInterned += ts.statesInterned.Load()
 		res.StatesReexpanded += ts.statesReexpanded.Load()
 		res.BranchesReused += ts.branchesReused.Load()
+		res.TablesMemoHit += ts.memoHits.Load()
+		res.BranchesDominated += ts.dominated.Load()
 		// A survivor settles the tier even if a racing worker exhausted
 		// the budget on a branch the survivor made irrelevant: one table
 		// the adversary cannot beat refutes impossibility regardless of

@@ -1,6 +1,8 @@
 package feasibility
 
 import (
+	"math/bits"
+
 	"ringrobots/internal/config"
 	"ringrobots/internal/ring"
 )
@@ -39,6 +41,16 @@ func (s state) pendingAt(u int) (ring.Direction, bool) {
 
 // anyPending reports whether any robot holds a computed-but-unexecuted move.
 func (s state) anyPending() bool { return s.pending[0]|s.pending[1] != 0 }
+
+// pendingCount counts robots holding a computed-but-unexecuted move —
+// the collision-likelihood key for dirty-state re-expansion ordering
+// (incremental.go): every pending execution is a move the adversary can
+// fire into a changed occupancy.
+func (s state) pendingCount() int {
+	const odd = 0x5555555555555555
+	return bits.OnesCount64((s.pending[0]|s.pending[0]>>1)&odd) +
+		bits.OnesCount64((s.pending[1]|s.pending[1]>>1)&odd)
+}
 
 func (s state) withPending(u int, d ring.Direction) state {
 	bits := uint64(1)
