@@ -5,6 +5,7 @@
 package ringrobots
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -245,7 +246,7 @@ func BenchmarkFeasibilityThroughput(b *testing.B) {
 				s.Workers = tc.workers
 				s.MaxExpansions = 2_000_000
 				s.NoQuotient = tc.noQuotient
-				if _, err := s.Solve(); err != nil && err != feasibility.ErrBudget {
+				if _, err := s.Solve(); err != nil && !errors.Is(err, feasibility.ErrBudget) {
 					b.Fatal(err)
 				}
 			}

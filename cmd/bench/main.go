@@ -12,11 +12,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -249,7 +251,7 @@ func families() []family {
 				s.Workers = tc.workers
 				s.MaxExpansions = 2_000_000
 				s.NoQuotient = tc.noQuotient
-				if _, err := s.Solve(); err != nil && err != feasibility.ErrBudget {
+				if _, err := s.Solve(); err != nil && !errors.Is(err, feasibility.ErrBudget) {
 					b.Fatal(err)
 				}
 			}
@@ -381,9 +383,36 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	// Temp-file + rename: a crash (or full disk) mid-write must never
+	// leave a truncated report where benchdiff — or a later bench run's
+	// baseline lookup — would read it as the real thing.
+	if err := writeFileAtomic(*out, buf); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 	fmt.Println("wrote", *out)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

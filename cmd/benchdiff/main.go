@@ -54,8 +54,18 @@ func load(path string) (report, error) {
 	if err != nil {
 		return rep, err
 	}
+	if len(buf) == 0 {
+		return rep, fmt.Errorf("%s: empty report (truncated write?)", path)
+	}
 	if err := json.Unmarshal(buf, &rep); err != nil {
-		return rep, fmt.Errorf("%s: %w", path, err)
+		return rep, fmt.Errorf("%s: corrupt report: %w", path, err)
+	}
+	// A parseable report with no benchmark rows is not a baseline to
+	// gate against — diffing it would "pass" with every row added or
+	// removed. Most likely a truncated or hand-mangled file that still
+	// happened to parse.
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("%s: report contains no benchmarks (truncated or not a cmd/bench report)", path)
 	}
 	return rep, nil
 }

@@ -1,0 +1,199 @@
+// Command drain runs an impossibility solve as a crash-safe,
+// resumable "drain": the solver's periodic checkpoints are appended to
+// a journal (internal/journal), SIGINT/SIGTERM suspend the search
+// cleanly, budget exhaustion suspends it with the budget spent, and
+// re-running the same command resumes from the journal's last
+// checkpoint — surviving kill -9 between appends. The verdict, once
+// reached, is journaled too, so a finished drain is idempotent.
+//
+// Usage:
+//
+//	go run ./cmd/drain -n 9 -k 5 -journal drain95.log -budget 5000000
+//	# ...interrupted (signal, crash, budget); same command resumes:
+//	go run ./cmd/drain -n 9 -k 5 -journal drain95.log -budget 5000000
+//
+// With -workers 1 (the default) a chain of suspended runs is
+// bit-deterministic: it reaches the same verdict, tier and
+// TablesExplored as one uninterrupted run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"ringrobots/internal/feasibility"
+	"ringrobots/internal/journal"
+)
+
+// Journal records carry a one-byte type tag.
+const (
+	recCheckpoint = 'C'
+	recVerdict    = 'V'
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "drain: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseTiers(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatalf("bad -tiers %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func printStats(prefix string, st feasibility.CheckpointStats) {
+	fmt.Printf("%s: tier=%d (index %d) frontier=%d branches depth=[%d..%d] tables=%d units=%d credits=%d nogoods=%d survivor=%v\n",
+		prefix, st.Tier, st.TierIndex, st.FrontierNodes, st.FrontierDepthMin, st.FrontierDepthMax,
+		st.TablesExplored, st.ExpansionUnits, st.Credits, st.Nogoods, st.HasPriorSurvivor)
+}
+
+func main() {
+	n := flag.Int("n", 9, "ring size")
+	k := flag.Int("k", 5, "robot count")
+	journalPath := flag.String("journal", "", "journal path (required): checkpoints and the verdict are appended here")
+	budget := flag.Int("budget", 0, "per-tier expansion budget for this run (0 = solver default); exhaustion suspends, resuming grants a fresh allowance")
+	workers := flag.Int("workers", 1, "worker pool size (1 = bit-deterministic resume chain)")
+	every := flag.Int("checkpoint-every", 64, "journal a checkpoint every this many processed branches (0 disables periodic checkpoints)")
+	compactAbove := flag.Int("compact-above", 64, "compact the journal down to its latest record when it holds more than this many (0 disables)")
+	sync := flag.Bool("sync", true, "fsync the journal after every append (survives power loss, not just kill -9)")
+	tiers := flag.String("tiers", "", "comma-separated pending-move tier ladder (default: solver's 0,2)")
+	cycleCap := flag.Int("cycle-cap", 0, "max starvation-loop length (0 = solver default)")
+	crashAfter := flag.Int64("crash-after-branches", 0, "TESTING: SIGKILL this process after that many processed branches")
+	flag.Parse()
+	if *journalPath == "" {
+		fatalf("-journal is required")
+	}
+
+	policy := journal.SyncNone
+	if *sync {
+		policy = journal.SyncAlways
+	}
+	log, err := journal.Open(*journalPath, policy)
+	if err != nil {
+		fatalf("open journal: %v", err)
+	}
+	defer log.Close()
+
+	s := feasibility.NewSolver(*n, *k)
+	s.Workers = *workers
+	if *budget > 0 {
+		s.MaxExpansions = *budget
+	}
+	if *cycleCap > 0 {
+		s.MaxCycleLen = *cycleCap
+	}
+	if t := parseTiers(*tiers); t != nil {
+		s.PendingTiers = t
+	}
+
+	// A finished drain is idempotent: the verdict record ends the
+	// journal, so re-running just reprints it.
+	var resumeFrom *feasibility.Checkpoint
+	if last, ok := log.Last(); ok {
+		switch last[0] {
+		case recVerdict:
+			fmt.Printf("drain already finished: %s\n", string(last[1:]))
+			return
+		case recCheckpoint:
+			ck, err := feasibility.UnmarshalCheckpoint(last[1:])
+			if err != nil {
+				fatalf("journal %s: corrupt checkpoint record: %v", *journalPath, err)
+			}
+			resumeFrom = ck
+			printStats("resuming", ck.Stats())
+		default:
+			fatalf("journal %s: unknown record type %q", *journalPath, last[0])
+		}
+	}
+
+	saved := 0
+	s.CheckpointEvery = *every
+	if *every > 0 {
+		s.OnCheckpoint = func(cp *feasibility.Checkpoint) error {
+			raw, err := cp.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			if err := log.Append(append([]byte{recCheckpoint}, raw...)); err != nil {
+				return err
+			}
+			saved++
+			if *compactAbove > 0 && log.Len() > *compactAbove {
+				if last, ok := log.Last(); ok {
+					if err := log.Compact([][]byte{last}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+	if *crashAfter > 0 {
+		s.BranchHook = func(done int64) {
+			if done >= *crashAfter {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	var res feasibility.Result
+	var cp *feasibility.Checkpoint
+	if resumeFrom != nil {
+		res, cp, err = s.Resume(ctx, resumeFrom)
+	} else {
+		res, cp, err = s.SolveContext(ctx)
+	}
+
+	switch {
+	case err == nil:
+		verdict := fmt.Sprintf("n=%d k=%d impossible=%v tier=%d tables=%d units=%d survivor=%v",
+			*n, *k, res.Impossible, res.Tier, res.TablesExplored, res.ExpansionUnits, res.SurvivorTable != nil)
+		if err := log.Append(append([]byte{recVerdict}, verdict...)); err != nil {
+			fatalf("journal verdict: %v", err)
+		}
+		fmt.Printf("verdict: %s\n", verdict)
+	case cp != nil:
+		// Suspended (budget or signal) with a live frontier: journal the
+		// final checkpoint so the next run resumes from the exact
+		// suspension point, not the last periodic one.
+		raw, merr := cp.MarshalBinary()
+		if merr != nil {
+			fatalf("marshal suspension checkpoint: %v", merr)
+		}
+		if aerr := log.Append(append([]byte{recCheckpoint}, raw...)); aerr != nil {
+			fatalf("journal suspension checkpoint: %v", aerr)
+		}
+		printStats("suspended", cp.Stats())
+		var be *feasibility.BudgetError
+		switch {
+		case errors.As(err, &be):
+			fmt.Printf("budget exhausted at tier %d after %d units this run (%d periodic checkpoints); rerun to continue\n",
+				be.Tier, be.Units, saved)
+		default:
+			fmt.Printf("suspended (%v) after %d periodic checkpoints; rerun to continue\n", err, saved)
+		}
+		os.Exit(3) // distinct exit: suspended, resumable
+	default:
+		fatalf("%v", err)
+	}
+}

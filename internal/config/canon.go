@@ -2,6 +2,7 @@ package config
 
 import (
 	"encoding/binary"
+	"errors"
 	"math/bits"
 	"strings"
 	"sync/atomic"
@@ -374,3 +375,35 @@ func (ck CanonKey) String() string {
 func (c Config) CanonKey() CanonKey {
 	return c.canon().key
 }
+
+// AppendBinary appends a self-delimiting encoding of the key to b and
+// returns the extended slice. The encoding round-trips exactly through
+// DecodeCanonKey (word-packed and string-fallback keys alike), which is
+// what the solver's checkpoint serialization relies on.
+func (ck CanonKey) AppendBinary(b []byte) []byte {
+	b = binary.AppendUvarint(b, ck.word)
+	b = binary.AppendUvarint(b, uint64(len(ck.str)))
+	return append(b, ck.str...)
+}
+
+// DecodeCanonKey decodes a key written by AppendBinary, returning the
+// key and the number of bytes consumed.
+func DecodeCanonKey(b []byte) (CanonKey, int, error) {
+	word, n := binary.Uvarint(b)
+	if n <= 0 {
+		return CanonKey{}, 0, errBadKey
+	}
+	off := n
+	slen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return CanonKey{}, 0, errBadKey
+	}
+	off += n
+	if slen > uint64(len(b)-off) {
+		return CanonKey{}, 0, errBadKey
+	}
+	ck := CanonKey{word: word, str: string(b[off : off+int(slen)])}
+	return ck, off + int(slen), nil
+}
+
+var errBadKey = errors.New("config: truncated CanonKey encoding")

@@ -1,0 +1,569 @@
+package feasibility
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"ringrobots/internal/config"
+)
+
+// This file implements the checkpoint layer of the table search: a
+// suspended drain's complete restart state — the open branch frontier
+// (copy-on-write chains flattened into an indexed node list), the
+// pruning layer's refutation credits and nogood store, the prior tiers'
+// surviving table, and the cumulative counters — plus a versioned
+// binary encoding for journaling it (internal/journal). Capture happens
+// either at a quiesce barrier (Solver.CheckpointEvery/OnCheckpoint,
+// workQueue.pop) or at suspension (budget exhaustion, context cancel);
+// Solver.Resume validates a checkpoint and rebuilds the work queue from
+// it.
+
+// ckptNode is one flattened tableNode: its parent by index into the
+// checkpoint's node list (-1 for the root, which must precede its
+// children), its (observation, decision) binding, and its live openKids
+// count so the pruning layer's refutation closure resumes mid-flight.
+type ckptNode struct {
+	parent   int32
+	obs      ObsKey
+	d        Decision
+	openKids int32
+}
+
+// ckptCredit is one observation's learned refutation credit, keyed by
+// its obsHash (the credit store never needs the observation back).
+type ckptCredit struct {
+	hash   uint64
+	credit int64
+}
+
+// ckptNogood is one refuted subtable with the pending limit it was
+// refuted under.
+type ckptNogood struct {
+	limit   int32
+	entries []pruneEntry
+}
+
+// Checkpoint is the restart state of a suspended drain. Values are
+// produced by SolveContext/Resume (on suspension), by the OnCheckpoint
+// callback (periodically), or by UnmarshalCheckpoint; they are opaque
+// outside this package except through Stats.
+type Checkpoint struct {
+	version     string
+	n, k        int
+	maxCycleLen int
+	noQuotient  bool
+	noIncremental bool
+	noPrune     bool
+
+	pendingTiers []int
+	tierIndex    int // index into pendingTiers of the suspended tier
+
+	// counters is the cumulative Result so far (SurvivorTable stripped;
+	// the prior survivor travels as entries below).
+	counters Result
+
+	hasPrior bool
+	prior    []pruneEntry // prior tiers' surviving table, sorted by obs
+
+	// nodes lists every tableNode on some frontier chain, parents
+	// strictly before children; frontier indexes the open branches in
+	// queue order (bottom of the LIFO stack first).
+	nodes    []ckptNode
+	frontier []int32
+
+	credits []ckptCredit
+	nogoods []ckptNogood
+}
+
+// tableEntries flattens a table into entries sorted by observation —
+// the deterministic serialized form of a survivor.
+func tableEntries(t Table) []pruneEntry {
+	entries := make([]pruneEntry, 0, len(t))
+	for o, d := range t {
+		entries = append(entries, pruneEntry{obs: o, d: d})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].obs.Less(entries[j].obs) })
+	return entries
+}
+
+// priorSurvivor rebuilds the prior tiers' surviving table (nil if the
+// drain was suspended before any tier produced one).
+func (ck *Checkpoint) priorSurvivor() Table {
+	if !ck.hasPrior {
+		return nil
+	}
+	t := make(Table, len(ck.prior))
+	for _, e := range ck.prior {
+		t[e.obs] = e.d
+	}
+	return t
+}
+
+// captureCheckpoint flattens the live drain state. frontier must be the
+// complete open frontier in queue order (bottom first); the nodes are
+// read, never retained, so calling under the quiesce barrier with the
+// live queue slice is safe.
+func (s *Solver) captureCheckpoint(tiers []int, ti int, counters Result, survivor Table, frontier []*tableNode, prune *pruneState) *Checkpoint {
+	counters.SurvivorTable = nil
+	ck := &Checkpoint{
+		version:       SolverVersion,
+		n:             s.N,
+		k:             s.K,
+		maxCycleLen:   s.MaxCycleLen,
+		noQuotient:    s.NoQuotient,
+		noIncremental: s.NoIncremental,
+		noPrune:       s.NoPrune,
+		pendingTiers:  append([]int(nil), tiers...),
+		tierIndex:     ti,
+		counters:      counters,
+	}
+	if survivor != nil {
+		ck.hasPrior = true
+		ck.prior = tableEntries(survivor)
+	}
+	index := make(map[*tableNode]int32)
+	var addNode func(nd *tableNode) int32
+	addNode = func(nd *tableNode) int32 {
+		if nd == nil {
+			return -1
+		}
+		if id, ok := index[nd]; ok {
+			return id
+		}
+		p := addNode(nd.parent) // parents first: children refer backward
+		id := int32(len(ck.nodes))
+		ck.nodes = append(ck.nodes, ckptNode{parent: p, obs: nd.obs, d: nd.d, openKids: nd.openKids.Load()})
+		index[nd] = id
+		return id
+	}
+	for _, nd := range frontier {
+		ck.frontier = append(ck.frontier, addNode(nd))
+	}
+	if prune != nil {
+		ck.credits, ck.nogoods = prune.exportState()
+	}
+	return ck
+}
+
+// rebuildFrontier reconstructs the open branches as live tableNode
+// chains (shared ancestors shared again, openKids restored), in the
+// stored queue order. Snapshots are not checkpointed: resumed branches
+// run a full analysis, whose per-branch outputs the incremental mode's
+// differential contract pins as identical.
+func (ck *Checkpoint) rebuildFrontier() ([]*tableNode, error) {
+	if len(ck.frontier) == 0 {
+		return nil, errors.New("feasibility: checkpoint has an empty frontier")
+	}
+	nodes := make([]*tableNode, len(ck.nodes))
+	for i, cn := range ck.nodes {
+		nd := &tableNode{obs: cn.obs, d: cn.d}
+		if cn.parent >= 0 {
+			if int(cn.parent) >= i {
+				return nil, fmt.Errorf("feasibility: checkpoint node %d references non-prior parent %d", i, cn.parent)
+			}
+			nd.parent = nodes[cn.parent]
+		}
+		nd.openKids.Store(cn.openKids)
+		nodes[i] = nd
+	}
+	out := make([]*tableNode, len(ck.frontier))
+	for i, id := range ck.frontier {
+		if id < 0 || int(id) >= len(nodes) {
+			return nil, fmt.Errorf("feasibility: checkpoint frontier references node %d of %d", id, len(nodes))
+		}
+		out[i] = nodes[id]
+	}
+	return out, nil
+}
+
+// validateFor checks that a checkpoint can resume on this solver: same
+// solver version (resume is only deterministic against the exact search
+// that wrote it), same ring and search parameters, same mode flags,
+// same tier ladder, and a non-empty frontier (an empty one would drain
+// instantly into a bogus impossibility verdict).
+func (ck *Checkpoint) validateFor(s *Solver) error {
+	if ck == nil {
+		return errors.New("feasibility: nil checkpoint")
+	}
+	if ck.version != SolverVersion {
+		return fmt.Errorf("feasibility: checkpoint from solver version %q, this solver is %q", ck.version, SolverVersion)
+	}
+	if ck.n != s.N || ck.k != s.K {
+		return fmt.Errorf("feasibility: checkpoint is for n=%d k=%d, solver has n=%d k=%d", ck.n, ck.k, s.N, s.K)
+	}
+	if ck.maxCycleLen != s.MaxCycleLen {
+		return fmt.Errorf("feasibility: checkpoint MaxCycleLen %d != solver %d", ck.maxCycleLen, s.MaxCycleLen)
+	}
+	if ck.noQuotient != s.NoQuotient || ck.noIncremental != s.NoIncremental || ck.noPrune != s.NoPrune {
+		return fmt.Errorf("feasibility: checkpoint search modes (NoQuotient=%t NoIncremental=%t NoPrune=%t) do not match solver (%t %t %t)",
+			ck.noQuotient, ck.noIncremental, ck.noPrune, s.NoQuotient, s.NoIncremental, s.NoPrune)
+	}
+	tiers := s.PendingTiers
+	if len(tiers) == 0 {
+		tiers = []int{0, 2}
+	}
+	if len(tiers) != len(ck.pendingTiers) {
+		return fmt.Errorf("feasibility: checkpoint tier ladder %v does not match solver %v", ck.pendingTiers, tiers)
+	}
+	for i, limit := range tiers {
+		if ck.pendingTiers[i] != limit {
+			return fmt.Errorf("feasibility: checkpoint tier ladder %v does not match solver %v", ck.pendingTiers, tiers)
+		}
+	}
+	if ck.tierIndex < 0 || ck.tierIndex >= len(ck.pendingTiers) {
+		return fmt.Errorf("feasibility: checkpoint tier index %d out of range for ladder %v", ck.tierIndex, ck.pendingTiers)
+	}
+	if len(ck.frontier) == 0 {
+		return errors.New("feasibility: checkpoint has an empty frontier")
+	}
+	return nil
+}
+
+// CheckpointStats is the operator-facing summary of a checkpoint
+// (cmd/drain prints it on every save and resume).
+type CheckpointStats struct {
+	Version          string
+	N, K             int
+	Tier             int // pending limit of the suspended tier
+	TierIndex        int
+	FrontierNodes    int
+	FrontierDepthMin int // table entries bound on the shallowest open branch
+	FrontierDepthMax int
+	TablesExplored   int
+	ExpansionUnits   int64
+	Credits          int
+	Nogoods          int
+	HasPriorSurvivor bool
+}
+
+// Stats summarizes the checkpoint without rebuilding it.
+func (ck *Checkpoint) Stats() CheckpointStats {
+	st := CheckpointStats{
+		Version:          ck.version,
+		N:                ck.n,
+		K:                ck.k,
+		TierIndex:        ck.tierIndex,
+		FrontierNodes:    len(ck.frontier),
+		TablesExplored:   ck.counters.TablesExplored,
+		ExpansionUnits:   ck.counters.ExpansionUnits,
+		Credits:          len(ck.credits),
+		Nogoods:          len(ck.nogoods),
+		HasPriorSurvivor: ck.hasPrior,
+	}
+	if ck.tierIndex >= 0 && ck.tierIndex < len(ck.pendingTiers) {
+		st.Tier = ck.pendingTiers[ck.tierIndex]
+	}
+	depth := make([]int, len(ck.nodes))
+	for i, cn := range ck.nodes {
+		if cn.parent >= 0 {
+			depth[i] = depth[cn.parent] + 1
+		}
+	}
+	for i, id := range ck.frontier {
+		d := 0
+		if int(id) < len(depth) {
+			d = depth[id]
+		}
+		if i == 0 || d < st.FrontierDepthMin {
+			st.FrontierDepthMin = d
+		}
+		if d > st.FrontierDepthMax {
+			st.FrontierDepthMax = d
+		}
+	}
+	return st
+}
+
+// --- binary encoding ---------------------------------------------------------
+
+// ckptMagic and ckptFormat version the wire encoding separately from
+// SolverVersion (which versions search semantics).
+const ckptMagic = "RRCP"
+const ckptFormat = 1
+
+func appendObsKey(b []byte, o ObsKey) []byte {
+	b = o.Lo.AppendBinary(b)
+	return o.Hi.AppendBinary(b)
+}
+
+func decodeObsKey(b []byte) (ObsKey, int, error) {
+	lo, n1, err := config.DecodeCanonKey(b)
+	if err != nil {
+		return ObsKey{}, 0, err
+	}
+	hi, n2, err := config.DecodeCanonKey(b[n1:])
+	if err != nil {
+		return ObsKey{}, 0, err
+	}
+	return ObsKey{Lo: lo, Hi: hi}, n1 + n2, nil
+}
+
+func appendEntry(b []byte, e pruneEntry) []byte {
+	b = appendObsKey(b, e.obs)
+	return binary.AppendUvarint(b, uint64(e.d))
+}
+
+var errTruncatedCkpt = errors.New("feasibility: truncated checkpoint encoding")
+
+// ckptDecoder is a cursor with sticky error handling over the encoded
+// checkpoint.
+type ckptDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *ckptDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = errTruncatedCkpt
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *ckptDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = errTruncatedCkpt
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *ckptDecoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b) {
+		d.err = errTruncatedCkpt
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *ckptDecoder) byte() byte {
+	b := d.bytes(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// count reads a length prefix and sanity-caps it against the remaining
+// input (each element costs at least min bytes), so corrupt lengths
+// fail cleanly instead of attempting giant allocations.
+func (d *ckptDecoder) count(min int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(len(d.b)/min) {
+		d.err = errTruncatedCkpt
+		return 0
+	}
+	return int(v)
+}
+
+func (d *ckptDecoder) obsKey() ObsKey {
+	if d.err != nil {
+		return ObsKey{}
+	}
+	o, n, err := decodeObsKey(d.b)
+	if err != nil {
+		d.err = err
+		return ObsKey{}
+	}
+	d.b = d.b[n:]
+	return o
+}
+
+func (d *ckptDecoder) decision() Decision {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(DEither) {
+		d.err = fmt.Errorf("feasibility: checkpoint decision %d out of range", v)
+	}
+	return Decision(v)
+}
+
+// MarshalBinary encodes the checkpoint for journaling. The encoding is
+// deterministic: capturing the same quiesced state twice yields
+// identical bytes.
+func (ck *Checkpoint) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, 256+64*len(ck.nodes))
+	b = append(b, ckptMagic...)
+	b = binary.AppendUvarint(b, ckptFormat)
+	b = binary.AppendUvarint(b, uint64(len(ck.version)))
+	b = append(b, ck.version...)
+	b = binary.AppendUvarint(b, uint64(ck.n))
+	b = binary.AppendUvarint(b, uint64(ck.k))
+	b = binary.AppendUvarint(b, uint64(ck.maxCycleLen))
+	var flags byte
+	if ck.noQuotient {
+		flags |= 1
+	}
+	if ck.noIncremental {
+		flags |= 2
+	}
+	if ck.noPrune {
+		flags |= 4
+	}
+	if ck.hasPrior {
+		flags |= 8
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(len(ck.pendingTiers)))
+	for _, t := range ck.pendingTiers {
+		b = binary.AppendUvarint(b, uint64(t))
+	}
+	b = binary.AppendUvarint(b, uint64(ck.tierIndex))
+	c := &ck.counters
+	b = binary.AppendUvarint(b, uint64(c.Tier))
+	b = binary.AppendUvarint(b, uint64(c.TablesExplored))
+	b = binary.AppendVarint(b, c.StatesInterned)
+	b = binary.AppendVarint(b, c.StatesReexpanded)
+	b = binary.AppendVarint(b, c.BranchesReused)
+	b = binary.AppendVarint(b, c.TablesMemoHit)
+	b = binary.AppendVarint(b, c.BranchesDominated)
+	b = binary.AppendVarint(b, c.ExpansionUnits)
+	if ck.hasPrior {
+		b = binary.AppendUvarint(b, uint64(len(ck.prior)))
+		for _, e := range ck.prior {
+			b = appendEntry(b, e)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(ck.nodes)))
+	for _, nd := range ck.nodes {
+		b = binary.AppendVarint(b, int64(nd.parent))
+		b = appendObsKey(b, nd.obs)
+		b = binary.AppendUvarint(b, uint64(nd.d))
+		b = binary.AppendVarint(b, int64(nd.openKids))
+	}
+	b = binary.AppendUvarint(b, uint64(len(ck.frontier)))
+	for _, id := range ck.frontier {
+		b = binary.AppendUvarint(b, uint64(id))
+	}
+	b = binary.AppendUvarint(b, uint64(len(ck.credits)))
+	for _, cr := range ck.credits {
+		b = binary.LittleEndian.AppendUint64(b, cr.hash)
+		b = binary.AppendVarint(b, cr.credit)
+	}
+	b = binary.AppendUvarint(b, uint64(len(ck.nogoods)))
+	for _, ng := range ck.nogoods {
+		b = binary.AppendUvarint(b, uint64(ng.limit))
+		b = binary.AppendUvarint(b, uint64(len(ng.entries)))
+		for _, e := range ng.entries {
+			b = appendEntry(b, e)
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalCheckpoint decodes a checkpoint produced by MarshalBinary.
+// It validates structure (magic, format, ranges, internal references)
+// but not solver compatibility — Resume's validateFor does that.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, errors.New("feasibility: not a checkpoint (bad magic)")
+	}
+	d := &ckptDecoder{b: data[len(ckptMagic):]}
+	if f := d.uvarint(); d.err == nil && f != ckptFormat {
+		return nil, fmt.Errorf("feasibility: unsupported checkpoint format %d", f)
+	}
+	ck := &Checkpoint{}
+	ck.version = string(d.bytes(int(d.uvarint())))
+	ck.n = int(d.uvarint())
+	ck.k = int(d.uvarint())
+	ck.maxCycleLen = int(d.uvarint())
+	flags := d.byte()
+	ck.noQuotient = flags&1 != 0
+	ck.noIncremental = flags&2 != 0
+	ck.noPrune = flags&4 != 0
+	ck.hasPrior = flags&8 != 0
+	ck.pendingTiers = make([]int, 0, d.count(1))
+	for i := cap(ck.pendingTiers); i > 0; i-- {
+		ck.pendingTiers = append(ck.pendingTiers, int(d.uvarint()))
+	}
+	ck.tierIndex = int(d.uvarint())
+	c := &ck.counters
+	c.Tier = int(d.uvarint())
+	c.TablesExplored = int(d.uvarint())
+	c.StatesInterned = d.varint()
+	c.StatesReexpanded = d.varint()
+	c.BranchesReused = d.varint()
+	c.TablesMemoHit = d.varint()
+	c.BranchesDominated = d.varint()
+	c.ExpansionUnits = d.varint()
+	if ck.hasPrior {
+		n := d.count(3)
+		ck.prior = make([]pruneEntry, 0, n)
+		for i := 0; i < n; i++ {
+			obs := d.obsKey()
+			ck.prior = append(ck.prior, pruneEntry{obs: obs, d: d.decision()})
+		}
+	}
+	nNodes := d.count(4)
+	ck.nodes = make([]ckptNode, 0, nNodes)
+	for i := 0; i < nNodes; i++ {
+		parent := d.varint()
+		if d.err == nil && (parent < -1 || parent >= int64(i)) {
+			return nil, fmt.Errorf("feasibility: checkpoint node %d has invalid parent %d", i, parent)
+		}
+		obs := d.obsKey()
+		dec := d.decision()
+		kids := d.varint()
+		ck.nodes = append(ck.nodes, ckptNode{parent: int32(parent), obs: obs, d: dec, openKids: int32(kids)})
+	}
+	nFront := d.count(1)
+	ck.frontier = make([]int32, 0, nFront)
+	for i := 0; i < nFront; i++ {
+		id := d.uvarint()
+		if d.err == nil && id >= uint64(len(ck.nodes)) {
+			return nil, fmt.Errorf("feasibility: checkpoint frontier references node %d of %d", id, len(ck.nodes))
+		}
+		ck.frontier = append(ck.frontier, int32(id))
+	}
+	nCred := d.count(9)
+	ck.credits = make([]ckptCredit, 0, nCred)
+	for i := 0; i < nCred; i++ {
+		raw := d.bytes(8)
+		var h uint64
+		if d.err == nil {
+			h = binary.LittleEndian.Uint64(raw)
+		}
+		ck.credits = append(ck.credits, ckptCredit{hash: h, credit: d.varint()})
+	}
+	nNg := d.count(2)
+	ck.nogoods = make([]ckptNogood, 0, nNg)
+	for i := 0; i < nNg; i++ {
+		limit := d.uvarint()
+		nEnt := d.count(3)
+		entries := make([]pruneEntry, 0, nEnt)
+		for j := 0; j < nEnt; j++ {
+			obs := d.obsKey()
+			entries = append(entries, pruneEntry{obs: obs, d: d.decision()})
+		}
+		ck.nogoods = append(ck.nogoods, ckptNogood{limit: int32(limit), entries: entries})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("feasibility: %d trailing bytes after checkpoint", len(d.b))
+	}
+	return ck, nil
+}

@@ -1,6 +1,7 @@
 package feasibility
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"strconv"
@@ -214,7 +215,7 @@ func TestLongRunWideRingIncremental(t *testing.T) {
 			tc.n, res.Impossible, res.Tier, res.TablesExplored, res.BranchesReused,
 			res.StatesReexpanded, res.TablesMemoHit, res.BranchesDominated,
 			err, time.Since(t0).Round(time.Millisecond))
-		if err != nil && err != ErrBudget {
+		if err != nil && !errors.Is(err, ErrBudget) {
 			t.Fatalf("(3,%d): unexpected error: %v", tc.n, err)
 		}
 	}

@@ -60,12 +60,30 @@ func (nd *tableNode) toTable() Table {
 // pending counts branches pushed but not yet fully processed, so workers
 // block (rather than exit) while a peer that might push children is
 // still running.
+//
+// The queue doubles as the checkpoint quiesce point: when pauseWanted
+// is set (requestPause), workers park inside pop instead of taking
+// work, and the last one to park — with every node either queued or
+// finished, none mid-process — runs the barrier callback over q.items,
+// which at that instant is exactly the open frontier of the tier.
 type workQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	items   []*tableNode
 	pending int
 	stopped bool
+
+	// workers counts pool members that have not exited pop with nil;
+	// the solver sets it before launching the pool. paused counts
+	// members currently parked at the pause barrier.
+	workers     int
+	paused      int
+	pauseWanted bool
+	// barrier runs under q.mu while the tier is quiesced; it receives
+	// the live frontier (must not be retained) and reports whether the
+	// search should continue (false aborts: the callback has already
+	// recorded its error in the tierSearch).
+	barrier func(frontier []*tableNode) bool
 }
 
 func newWorkQueue() *workQueue {
@@ -83,13 +101,37 @@ func (q *workQueue) push(nd *tableNode) {
 }
 
 // pop blocks until a branch is available, all work has drained, or the
-// search was stopped; it returns nil in the latter two cases.
+// search was stopped; it returns nil in the latter two cases. While a
+// pause is wanted, workers park here; the last to park runs the
+// checkpoint barrier and releases the others.
 func (q *workQueue) pop() *tableNode {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		if q.stopped {
+			q.workers--
 			return nil
+		}
+		if q.pauseWanted {
+			q.paused++
+			if q.paused == q.workers {
+				// Quiesced: no worker holds a node, so q.items is the
+				// complete open frontier. Skip the callback when the tier
+				// is about to drain anyway (empty frontier).
+				if q.barrier != nil && len(q.items) > 0 {
+					if !q.barrier(q.items) {
+						q.stopped = true
+					}
+				}
+				q.pauseWanted = false
+				q.cond.Broadcast()
+			} else {
+				for q.pauseWanted && !q.stopped {
+					q.cond.Wait()
+				}
+			}
+			q.paused--
+			continue
 		}
 		if n := len(q.items); n > 0 {
 			nd := q.items[n-1]
@@ -98,10 +140,33 @@ func (q *workQueue) pop() *tableNode {
 			return nd
 		}
 		if q.pending == 0 {
+			q.pauseWanted = false
+			q.workers--
+			q.cond.Broadcast()
 			return nil
 		}
 		q.cond.Wait()
 	}
+}
+
+// requestPause asks the pool to quiesce for a checkpoint at the next
+// branch boundary. A no-op on a stopped or drained queue.
+func (q *workQueue) requestPause() {
+	q.mu.Lock()
+	if !q.stopped && q.pending > 0 {
+		q.pauseWanted = true
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// drainRemaining returns the queued-but-unpopped branches in stack
+// order (bottom to top). Only meaningful after the worker pool has
+// exited; the caller owns nothing — the slice aliases the queue.
+func (q *workQueue) drainRemaining() []*tableNode {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items
 }
 
 // finish marks one popped branch fully processed (children, if any,
@@ -261,6 +326,16 @@ type tierSearch struct {
 	obs           *obsCache
 	queue         *workQueue
 
+	// ckptEvery, when positive, quiesces the pool for a periodic
+	// checkpoint every that many processed branches; branchHook is the
+	// per-branch instrumentation / fault-injection hook. Both are wired
+	// from the Solver.
+	ckptEvery  int64
+	branchHook func(int64)
+	// done counts branches fully processed (popped, analyzed, children
+	// pushed) — the checkpoint cadence counter.
+	done atomic.Int64
+
 	expansions atomic.Int64
 	tables     atomic.Int64
 	// statesInterned accumulates the per-branch interned-graph sizes —
@@ -291,6 +366,11 @@ type tierSearch struct {
 	mu       sync.Mutex
 	survivor Table
 	err      error
+	// aborted collects branches popped but not completed when the tier
+	// stopped: together with the queue's remaining items they form the
+	// suspend frontier a checkpoint must capture, so a resumed drain
+	// re-processes exactly the work an uninterrupted run would have.
+	aborted []*tableNode
 }
 
 // fail records the first error and cancels the search.
@@ -302,6 +382,35 @@ func (ts *tierSearch) fail(err error) {
 	ts.mu.Unlock()
 	ts.stop.Store(true)
 	ts.queue.stop()
+}
+
+// failQuiesced records an error from inside the checkpoint barrier,
+// which already holds the queue lock: it must not call queue.stop (the
+// barrier's caller marks the queue stopped itself).
+func (ts *tierSearch) failQuiesced(err error) {
+	ts.mu.Lock()
+	if ts.err == nil {
+		ts.err = err
+	}
+	ts.mu.Unlock()
+	ts.stop.Store(true)
+}
+
+// abandon returns a popped-but-unfinished branch to the suspend
+// frontier. The caller has already released the node's snapshot (if
+// any) and uncounted it from tables when it was counted.
+func (ts *tierSearch) abandon(nd *tableNode) {
+	ts.mu.Lock()
+	ts.aborted = append(ts.aborted, nd)
+	ts.mu.Unlock()
+}
+
+// abandonedNodes returns the branches abandoned mid-process, in abandon
+// order. Only meaningful after the worker pool has exited.
+func (ts *tierSearch) abandonedNodes() []*tableNode {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.aborted
 }
 
 // foundSurvivor records a surviving table and cancels the search: one

@@ -1,6 +1,7 @@
 package feasibility
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -434,6 +435,61 @@ func nogoodEntries(nd *tableNode) []pruneEntry {
 		entries[i] = e
 	}
 	return entries
+}
+
+// exportState snapshots the refutation credits and the nogood store
+// for checkpoint serialization (checkpoint.go). Credits are sorted by
+// hash so the encoding is deterministic; nogood records are emitted in
+// shard order and, within a shard, in append order — re-recording them
+// in that order (importState) rebuilds byte-identical chain structure,
+// which the resume determinism contract needs. The solver only calls
+// this while the tier is quiesced (workers parked or exited), but the
+// shard locks are taken anyway so the method is safe under -race
+// whenever it is reachable.
+func (pr *pruneState) exportState() (credits []ckptCredit, nogoods []ckptNogood) {
+	for i := range pr.credit {
+		sh := &pr.credit[i]
+		sh.mu.RLock()
+		for h, c := range sh.m {
+			if c != 0 {
+				credits = append(credits, ckptCredit{hash: h, credit: c})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(credits, func(i, j int) bool { return credits[i].hash < credits[j].hash })
+	for i := range pr.nogood {
+		sh := &pr.nogood[i]
+		sh.mu.RLock()
+		for r := range sh.recs {
+			rec := &sh.recs[r]
+			nogoods = append(nogoods, ckptNogood{
+				limit:   rec.limit,
+				entries: append([]pruneEntry(nil), rec.entries...),
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	return credits, nogoods
+}
+
+// importState restores an exported pruning state into a fresh
+// pruneState. Nogoods are replayed through recordNogood, so chain
+// heads, links and the recorded counter come out exactly as they were
+// at export time.
+func (pr *pruneState) importState(credits []ckptCredit, nogoods []ckptNogood) {
+	for _, c := range credits {
+		sh := &pr.credit[c.hash%pruneShards]
+		sh.mu.Lock()
+		if sh.m == nil {
+			sh.m = make(map[uint64]int64)
+		}
+		sh.m[c.hash] = c.credit
+		sh.mu.Unlock()
+	}
+	for _, ng := range nogoods {
+		pr.recordNogood(int(ng.limit), ng.entries)
+	}
 }
 
 // dominatedChild reports whether binding obs := d hands the adversary

@@ -234,6 +234,15 @@ func (w *searcher) canonState(s state) (state, isom) {
 // drive the branching-observation order.
 func (w *searcher) process(nd *tableNode) {
 	if w.ts.stop.Load() {
+		// Popped just as the tier stopped: hand the untouched branch to
+		// the suspend frontier so a checkpoint does not lose it. Its
+		// snapshot is released — a resumed branch re-analyzes in full
+		// (same per-branch outputs, see incremental.go).
+		if nd.snap != nil {
+			w.ts.releaseSnap(nd.snap)
+			nd.snap = nil
+		}
+		w.ts.abandon(nd)
 		return
 	}
 	w.ts.tables.Add(1)
@@ -258,6 +267,12 @@ func (w *searcher) process(nd *tableNode) {
 		if err != errStopped {
 			w.ts.fail(err)
 		}
+		// The branch was not completed: uncount it and return it to the
+		// suspend frontier. A resumed drain re-processes (and re-counts)
+		// it exactly once, which is what keeps single-worker
+		// TablesExplored bit-identical to an uninterrupted run.
+		w.ts.tables.Add(-1)
+		w.ts.abandon(nd)
 		return
 	}
 	if win {

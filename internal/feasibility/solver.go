@@ -77,6 +77,8 @@
 package feasibility
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -194,8 +196,34 @@ type obsInfo struct {
 	legal uint8 // bitmask of legal decisions for this observation
 }
 
-// ErrBudget reports an exhausted search budget (no verdict).
-var ErrBudget = fmt.Errorf("feasibility: search budget exhausted")
+// ErrBudget is the sentinel for an exhausted search budget (no
+// verdict). Errors returned by Solve wrap it in a *BudgetError carrying
+// the aborted tier and the expansion units spent there; match with
+// errors.Is(err, ErrBudget), never by identity.
+var ErrBudget = errors.New("feasibility: search budget exhausted")
+
+// BudgetError is the wrapped form of ErrBudget the solver returns: it
+// records which pending tier ran out and how many expansion units that
+// tier had charged when the budget tripped (this run only — cumulative
+// units across checkpointed resumes live in Result.ExpansionUnits).
+type BudgetError struct {
+	Tier  int
+	Units int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("feasibility: search budget exhausted at tier %d after %d expansion units", e.Tier, e.Units)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+// SolverVersion tags checkpoints with the search semantics that
+// produced them. Resume is only bit-deterministic against the exact
+// search that wrote the checkpoint, so Resume refuses checkpoints
+// carrying another version string. Bump it whenever branching order,
+// pruning, quotienting, per-branch analysis, or the checkpoint
+// encoding changes.
+const SolverVersion = "ringrobots-solver-6"
 
 // Solver searches for an adversary win against every algorithm table.
 //
@@ -259,6 +287,23 @@ type Solver struct {
 	// either way, which incremental_test.go pins.
 	noCollisionOrder bool
 
+	// CheckpointEvery, when positive (and OnCheckpoint set), quiesces
+	// the table search every that many processed branches and hands a
+	// checkpoint of the live drain to OnCheckpoint. With one worker the
+	// quiesce points — and therefore the checkpoints — are
+	// deterministic.
+	CheckpointEvery int
+	// OnCheckpoint receives each periodic checkpoint (checkpoint.go),
+	// typically to append it to a journal. It runs on a worker
+	// goroutine while the search is quiesced; returning an error aborts
+	// the solve with that error.
+	OnCheckpoint func(*Checkpoint) error
+	// BranchHook, when non-nil, is called by workers after every
+	// processed branch with the cumulative count of branches this tier.
+	// It is the crashpoint hook of the fault-injection suite (and of
+	// cmd/drain's crash modes); production solves leave it nil.
+	BranchHook func(int64)
+
 	// obsCache memoizes per-configuration observations across all table
 	// branches, tiers and workers, sharded by occupied mask.
 	obsCache *obsCache
@@ -313,13 +358,70 @@ type Result struct {
 	// contaminated ring) at a state waiting on the observation. Never
 	// enqueued, not part of TablesExplored.
 	BranchesDominated int64
+	// ExpansionUnits sums the expansion units charged against the
+	// per-tier budgets, cumulative over tiers and — when the solve was
+	// restored from a checkpoint — over every run of the drain. Each run
+	// gets a fresh MaxExpansions allowance per tier; this counter is the
+	// total the whole (possibly interrupted and resumed) drain spent.
+	ExpansionUnits int64
 }
 
 // Solve decides whether exclusive perpetual graph searching with K robots
 // on an N-node ring is impossible for every oblivious algorithm.
 func (s *Solver) Solve() (Result, error) {
+	res, _, err := s.solve(context.Background(), nil)
+	return res, err
+}
+
+// SolveContext is Solve with cooperative suspension: cancelling ctx (or
+// exhausting a tier's budget) stops the drain cleanly and, when the
+// tier still has open branches, returns a Checkpoint capturing them —
+// resumable later with Resume. The checkpoint is nil when the solve ran
+// to a verdict or failed on a non-suspendable error.
+func (s *Solver) SolveContext(ctx context.Context) (Result, *Checkpoint, error) {
+	return s.solve(ctx, nil)
+}
+
+// Resume continues a suspended drain from a checkpoint, picking up the
+// saved tier with the saved open frontier, pruning state and cumulative
+// counters. The receiving solver must match the checkpoint's ring
+// parameters, search-mode flags and SolverVersion (validateFor); the
+// tier gets a fresh MaxExpansions allowance, which is how a journaled
+// drain accumulates budget across runs. In single-worker mode a chain
+// of budget suspensions and resumes reaches the same verdict, tier,
+// survivor and TablesExplored as one uninterrupted run.
+func (s *Solver) Resume(ctx context.Context, ck *Checkpoint) (Result, *Checkpoint, error) {
+	if err := ck.validateFor(s); err != nil {
+		return Result{}, nil, err
+	}
+	return s.solve(ctx, ck)
+}
+
+// suspendableErr reports whether an abort leaves a resumable frontier:
+// budget exhaustion and context cancellation suspend; anything else
+// (including an OnCheckpoint error — the callback already has the
+// latest checkpoint) is terminal.
+func suspendableErr(err error) bool {
+	return errors.Is(err, ErrBudget) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// addCounters returns base plus the tier's counters so far. All fields
+// are atomics, so the sum is exact whenever the pool is quiesced (the
+// checkpoint barrier) or exited (tier end).
+func addCounters(base Result, ts *tierSearch) Result {
+	base.TablesExplored += int(ts.tables.Load())
+	base.StatesInterned += ts.statesInterned.Load()
+	base.StatesReexpanded += ts.statesReexpanded.Load()
+	base.BranchesReused += ts.branchesReused.Load()
+	base.TablesMemoHit += ts.memoHits.Load()
+	base.BranchesDominated += ts.dominated.Load()
+	base.ExpansionUnits += ts.expansions.Load()
+	return base
+}
+
+func (s *Solver) solve(ctx context.Context, ck *Checkpoint) (Result, *Checkpoint, error) {
 	if s.K < 1 || s.K >= s.N || s.N < 3 || s.N > maxRingSize {
-		return Result{}, fmt.Errorf("feasibility: solver supports 3 <= n <= %d, 1 <= k < n; got n=%d k=%d", maxRingSize, s.N, s.K)
+		return Result{}, nil, fmt.Errorf("feasibility: solver supports 3 <= n <= %d, 1 <= k < n; got n=%d k=%d", maxRingSize, s.N, s.K)
 	}
 	tiers := s.PendingTiers
 	if len(tiers) == 0 {
@@ -344,24 +446,45 @@ func (s *Solver) Solve() (Result, error) {
 	}
 
 	res := Result{}
-	for ti, limit := range tiers {
-		if prune != nil && ti > 0 {
+	startTier := 0
+	// survivor tracks the latest tier's surviving table across the
+	// ladder (and across suspensions): a checkpoint taken at tier i
+	// must preserve the survivor that escalated tiers 0..i-1, or a
+	// resumed drain whose final tier also survives would report the
+	// wrong table — and a resumed drain that never re-runs the earlier
+	// tiers would report none at all.
+	var survivor Table
+	if ck != nil {
+		startTier = ck.tierIndex
+		res = ck.counters
+		survivor = ck.priorSurvivor()
+		if prune != nil {
+			prune.importState(ck.credits, ck.nogoods)
+		}
+	}
+	for ti := startTier; ti < len(tiers); ti++ {
+		limit := tiers[ti]
+		resuming := ck != nil && ti == startTier
+		if prune != nil && ti > 0 && !resuming {
 			// Refutation credits are per-tier statistics: a different
 			// pending allowance is a different game, and carrying tier-0
 			// credits into tier 2 measurably poisons its branching order
 			// ((5,9) explores 16–37× more tables with cross-tier credits).
 			// The nogood memo, by contrast, stays — its records are
 			// tagged with the limit they were refuted under and remain
-			// sound at stronger tiers.
+			// sound at stronger tiers. When resuming, the imported
+			// credits are the suspended tier's own statistics and must
+			// survive.
 			prune.resetCredits()
 		}
 		res.Tier = limit
 		res.SurvivorTable = nil
+		base := res
 		ts := &tierSearch{
 			n:              s.N,
 			k:              s.K,
 			pendingLimit:   limit,
-			maxExpansions:  int64(s.MaxExpansions), // budget per tier
+			maxExpansions:  int64(s.MaxExpansions), // budget per tier (fresh per run)
 			maxCycleLen:    s.MaxCycleLen,
 			quotient:       !s.NoQuotient,
 			incremental:    !s.NoIncremental,
@@ -371,8 +494,47 @@ func (s *Solver) Solve() (Result, error) {
 			starts:         starts,
 			obs:            s.obsCache,
 			queue:          newWorkQueue(),
+			ckptEvery:      int64(s.CheckpointEvery),
+			branchHook:     s.BranchHook,
 		}
-		ts.queue.push(&tableNode{}) // root: the empty table
+		if resuming {
+			// Restore the suspended frontier in its stored (bottom to
+			// top) order, re-establishing the LIFO stack the suspension
+			// drained. The nodes carry no snapshots, so each runs a full
+			// analysis; per-branch outputs are identical either way (the
+			// incremental differential contract), so the tree below them
+			// — and TablesExplored — matches the uninterrupted run.
+			frontier, err := ck.rebuildFrontier()
+			if err != nil {
+				return res, nil, err
+			}
+			for _, nd := range frontier {
+				ts.queue.push(nd)
+			}
+		} else {
+			ts.queue.push(&tableNode{}) // root: the empty table
+		}
+		ts.queue.workers = workers
+		if s.CheckpointEvery > 0 && s.OnCheckpoint != nil {
+			ts.queue.barrier = func(frontier []*tableNode) bool {
+				cp := s.captureCheckpoint(tiers, ti, addCounters(base, ts), survivor, frontier, prune)
+				if err := s.OnCheckpoint(cp); err != nil {
+					ts.failQuiesced(err)
+					return false
+				}
+				return true
+			}
+		}
+		watchDone := make(chan struct{})
+		if ctx.Done() != nil {
+			go func() {
+				select {
+				case <-ctx.Done():
+					ts.fail(ctx.Err())
+				case <-watchDone:
+				}
+			}()
+		}
 		var wg sync.WaitGroup
 		for i := 0; i < workers; i++ {
 			wg.Add(1)
@@ -387,16 +549,19 @@ func (s *Solver) Solve() (Result, error) {
 					w.process(nd)
 					w.flush()
 					ts.queue.finish()
+					done := ts.done.Add(1)
+					if ts.branchHook != nil {
+						ts.branchHook(done)
+					}
+					if ts.ckptEvery > 0 && done%ts.ckptEvery == 0 {
+						ts.queue.requestPause()
+					}
 				}
 			}()
 		}
 		wg.Wait()
-		res.TablesExplored += int(ts.tables.Load())
-		res.StatesInterned += ts.statesInterned.Load()
-		res.StatesReexpanded += ts.statesReexpanded.Load()
-		res.BranchesReused += ts.branchesReused.Load()
-		res.TablesMemoHit += ts.memoHits.Load()
-		res.BranchesDominated += ts.dominated.Load()
+		close(watchDone)
+		res = addCounters(base, ts)
 		// A survivor settles the tier even if a racing worker exhausted
 		// the budget on a branch the survivor made irrelevant: one table
 		// the adversary cannot beat refutes impossibility regardless of
@@ -404,16 +569,45 @@ func (s *Solver) Solve() (Result, error) {
 		// every worker count. An impossibility verdict, by contrast,
 		// needs the whole tree drained, so any error voids it.
 		if ts.survivor != nil {
-			res.SurvivorTable = ts.survivor
+			survivor = ts.survivor
+			res.SurvivorTable = survivor
 			continue // a survivor escalates to the next tier
 		}
 		if ts.err != nil {
-			return res, ts.err
+			res.SurvivorTable = survivor // prior tiers' survivor, telemetry only
+			err := ts.err
+			if !suspendableErr(err) {
+				return res, nil, err
+			}
+			// Suspension: the open frontier is the queue's remaining
+			// stack plus any branches workers had popped but abandoned
+			// mid-process (stacked on top — with one worker that is the
+			// exact LIFO position the abort took them from).
+			frontier := append(append([]*tableNode(nil), ts.queue.drainRemaining()...), ts.abandonedNodes()...)
+			if len(frontier) == 0 {
+				// The abort flag tripped at the final branch boundary —
+				// after every branch had already completed and none were
+				// abandoned (any branch interrupted mid-analysis lands in
+				// the abandoned list). The tree is fully drained, so the
+				// impossibility verdict is sound despite the late error;
+				// without this, a drain whose budget trips exactly at
+				// exhaustion could never converge across resumes.
+				res.Impossible = true
+				res.SurvivorTable = nil
+				return res, nil, nil
+			}
+			cp := s.captureCheckpoint(tiers, ti, res, survivor, frontier, prune)
+			if errors.Is(err, ErrBudget) {
+				err = &BudgetError{Tier: limit, Units: ts.expansions.Load()}
+			}
+			return res, cp, err
 		}
 		res.Impossible = true
-		return res, nil
+		res.SurvivorTable = nil
+		return res, nil, nil
 	}
-	return res, nil
+	res.SurvivorTable = survivor
+	return res, nil, nil
 }
 
 // initialStates returns one representative per equivalence class of

@@ -1,0 +1,254 @@
+// Package journal implements the append-only record log that backs
+// checkpointable solver drains: length-prefixed, CRC-checksummed
+// records, torn-tail truncation on open, an fsync policy flag, and
+// atomic snapshot compaction via temp-file + rename.
+//
+// On-disk format: a log is a concatenation of records, each
+//
+//	[4-byte LE payload length][4-byte LE CRC32 (IEEE) of payload][payload]
+//
+// with no file header. Recovery is prefix-based: Open scans from the
+// start and truncates the file at the first record that is incomplete
+// (torn tail), declares an implausible length, or fails its checksum.
+// Everything before that point is intact by construction, so a crash
+// mid-append loses at most the record being written.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	headerSize = 8
+	// MaxRecordLen bounds a record's declared payload length. A torn or
+	// bit-flipped header can declare any 32-bit length; without a cap, a
+	// giant declared length could only be rejected after comparing
+	// against the file size, and a reader streaming the log would try to
+	// allocate it. Checkpoints are far below this.
+	MaxRecordLen = 1 << 30
+)
+
+// SyncPolicy selects how eagerly appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncNone leaves flushing to the OS (fast; a crash may lose the
+	// most recent appends, which recovery truncates away).
+	SyncNone SyncPolicy = iota
+	// SyncAlways fsyncs after every append: once Append returns, the
+	// record survives a crash.
+	SyncAlways
+)
+
+// Log is an open journal file positioned for appending.
+type Log struct {
+	path   string
+	f      *os.File
+	policy SyncPolicy
+	n      int
+	size   int64
+	last   []byte // copy of the latest record's payload, nil when empty
+}
+
+// AppendRecord appends the encoded form of one record (header +
+// payload) to dst. It is the single definition of the record encoding,
+// shared by Append, Compact and the decoder tests.
+func AppendRecord(dst, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Scan parses buf as a record log: it returns the payloads of the
+// leading fully-valid records and the byte length of that valid prefix.
+// The returned slices alias buf. Scan never fails — a corrupt or torn
+// suffix simply ends the valid prefix — and recovery is idempotent:
+// Scan(buf[:valid]) returns the same records and the same length.
+func Scan(buf []byte) (recs [][]byte, valid int) {
+	off := 0
+	for {
+		if len(buf)-off < headerSize {
+			return recs, off
+		}
+		length := binary.LittleEndian.Uint32(buf[off:])
+		if length > MaxRecordLen || int(length) > len(buf)-off-headerSize {
+			return recs, off
+		}
+		sum := binary.LittleEndian.Uint32(buf[off+4:])
+		payload := buf[off+headerSize : off+headerSize+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off
+		}
+		recs = append(recs, payload)
+		off += headerSize + int(length)
+	}
+}
+
+// Open opens (creating if absent) the journal at path, recovers its
+// valid prefix, truncates any torn or corrupt tail, and positions the
+// log for appending.
+func Open(path string, policy SyncPolicy) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	recs, valid := Scan(buf)
+	if valid < len(buf) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+		}
+		if policy == SyncAlways {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{path: path, f: f, policy: policy, n: len(recs), size: int64(valid)}
+	if len(recs) > 0 {
+		l.last = append([]byte(nil), recs[len(recs)-1]...)
+	}
+	return l, nil
+}
+
+// Path returns the journal's file path.
+func (l *Log) Path() string { return l.path }
+
+// Len returns the number of valid records in the log.
+func (l *Log) Len() int { return l.n }
+
+// Size returns the byte length of the log's valid prefix.
+func (l *Log) Size() int64 { return l.size }
+
+// Last returns a copy-safe view of the most recent record's payload
+// (nil, false when the log is empty). The returned slice must not be
+// modified.
+func (l *Log) Last() ([]byte, bool) {
+	if l.last == nil {
+		return nil, false
+	}
+	return l.last, true
+}
+
+// Append writes one record. Under SyncAlways the record is on stable
+// storage when Append returns; under SyncNone a crash may lose it (and
+// recovery will truncate any torn half-write).
+func (l *Log) Append(payload []byte) error {
+	rec := AppendRecord(make([]byte, 0, headerSize+len(payload)), payload)
+	if _, err := l.f.Write(rec); err != nil {
+		return fmt.Errorf("journal: appending to %s: %w", l.path, err)
+	}
+	if l.policy == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.n++
+	l.size += int64(len(rec))
+	l.last = append(l.last[:0], payload...)
+	return nil
+}
+
+// Sync flushes pending appends to stable storage regardless of policy.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// ForEach replays every valid record from the start of the log in
+// order. The payload slice passed to fn is only valid for the call.
+func (l *Log) ForEach(fn func(payload []byte) error) error {
+	buf, err := os.ReadFile(l.path)
+	if err != nil {
+		return err
+	}
+	if int64(len(buf)) > l.size {
+		buf = buf[:l.size]
+	}
+	recs, _ := Scan(buf)
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact atomically replaces the log's contents with the given
+// records (typically just the latest snapshot): the new log is written
+// to a temp file in the same directory, fsynced, and renamed over the
+// old one, so a crash at any point leaves either the old log or the
+// new one — never a mix.
+func (l *Log) Compact(keep [][]byte) error {
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	var buf []byte
+	for _, rec := range keep {
+		buf = AppendRecord(buf[:0], rec)
+		if _, err := tmp.Write(buf); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, l.path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Make the rename durable (best-effort: not all platforms support
+	// fsync on directories).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	// Swap the handle to the new file and reposition for appending.
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.f.Close()
+	l.f = f
+	l.n = len(keep)
+	l.size = size
+	if len(keep) > 0 {
+		l.last = append(l.last[:0], keep[len(keep)-1]...)
+	} else {
+		l.last = nil
+	}
+	return nil
+}
+
+// Close releases the file handle. The log must not be used afterwards.
+func (l *Log) Close() error { return l.f.Close() }

@@ -1,0 +1,166 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string, policy SyncPolicy) *Log {
+	t.Helper()
+	l, err := Open(path, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	recs := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-record"), {0, 1, 2, 255}}
+	l := openT(t, path, SyncAlways)
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(recs))
+	}
+	if last, ok := l.Last(); !ok || !bytes.Equal(last, recs[len(recs)-1]) {
+		t.Fatalf("Last = %q, %v", last, ok)
+	}
+	l.Close()
+
+	l2 := openT(t, path, SyncNone)
+	if l2.Len() != len(recs) {
+		t.Fatalf("reopened Len = %d, want %d", l2.Len(), len(recs))
+	}
+	var got [][]byte
+	if err := l2.ForEach(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Errorf("record %d: got %q want %q", i, got[i], recs[i])
+		}
+	}
+	// Appending after reopen continues the log.
+	if err := l2.Append([]byte("post-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	if last, _ := l2.Last(); string(last) != "post-reopen" {
+		t.Errorf("Last after reopen-append = %q", last)
+	}
+}
+
+// TestTornTailTruncation crashes the writer at every possible byte
+// offset of the final record and checks that recovery lands exactly on
+// the previous record with no data loss before it.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	full := AppendRecord(nil, []byte("first"))
+	sizeAfterFirst := len(full)
+	full = AppendRecord(full, []byte("second-record"))
+
+	for cut := sizeAfterFirst; cut < len(full); cut++ {
+		path := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(path, SyncNone)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if l.Len() != 1 {
+			t.Fatalf("cut=%d: Len = %d, want 1", cut, l.Len())
+		}
+		if last, _ := l.Last(); string(last) != "first" {
+			t.Fatalf("cut=%d: Last = %q", cut, last)
+		}
+		if l.Size() != int64(sizeAfterFirst) {
+			t.Fatalf("cut=%d: Size = %d, want %d", cut, l.Size(), sizeAfterFirst)
+		}
+		l.Close()
+		// The file itself was truncated to the valid prefix.
+		if fi, err := os.Stat(path); err != nil || fi.Size() != int64(sizeAfterFirst) {
+			t.Fatalf("cut=%d: on-disk size %v err=%v", cut, fi.Size(), err)
+		}
+	}
+}
+
+// TestCorruptMidFileTruncatesFromThere flips one payload byte of the
+// first record: recovery must land on the empty prefix even though the
+// later records are intact (prefix semantics, not record skipping).
+func TestCorruptMidFileTruncatesFromThere(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flip.log")
+	buf := AppendRecord(nil, []byte("victim"))
+	buf = AppendRecord(buf, []byte("intact"))
+	buf[headerSize] ^= 0x40 // first payload byte of record 0
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := openT(t, path, SyncNone)
+	if l.Len() != 0 || l.Size() != 0 {
+		t.Fatalf("Len=%d Size=%d, want empty log", l.Len(), l.Size())
+	}
+}
+
+func TestGiantDeclaredLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "giant.log")
+	buf := AppendRecord(nil, []byte("ok"))
+	good := len(buf)
+	// Header declaring a payload far beyond the file (and beyond
+	// MaxRecordLen): must not be believed or allocated.
+	buf = append(buf, 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := openT(t, path, SyncNone)
+	if l.Len() != 1 || l.Size() != int64(good) {
+		t.Fatalf("Len=%d Size=%d, want 1 record / %d bytes", l.Len(), l.Size(), good)
+	}
+}
+
+func TestCompactKeepsLatestAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.log")
+	l := openT(t, path, SyncAlways)
+	for i := 0; i < 10; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Size()
+	keep := bytes.Repeat([]byte{9}, 100)
+	if err := l.Compact([][]byte{keep}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 || l.Size() >= before {
+		t.Fatalf("after compact: Len=%d Size=%d (before %d)", l.Len(), l.Size(), before)
+	}
+	if last, _ := l.Last(); !bytes.Equal(last, keep) {
+		t.Fatalf("Last after compact = %v", last[:4])
+	}
+	// The compacted log appends and reopens normally.
+	if err := l.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2 := openT(t, path, SyncNone)
+	if l2.Len() != 2 {
+		t.Fatalf("reopened compacted log Len = %d, want 2", l2.Len())
+	}
+	if last, _ := l2.Last(); string(last) != "tail" {
+		t.Fatalf("Last = %q", last)
+	}
+	// No temp files left behind.
+	matches, _ := filepath.Glob(filepath.Join(filepath.Dir(path), "*.tmp*"))
+	if len(matches) != 0 {
+		t.Errorf("leftover temp files: %v", matches)
+	}
+}
