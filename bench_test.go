@@ -13,9 +13,11 @@ import (
 	"ringrobots/internal/align"
 	"ringrobots/internal/config"
 	"ringrobots/internal/corda"
+	"ringrobots/internal/core"
 	"ringrobots/internal/enumerate"
 	"ringrobots/internal/feasibility"
 	"ringrobots/internal/gather"
+	"ringrobots/internal/mcsim"
 	"ringrobots/internal/search"
 )
 
@@ -427,6 +429,117 @@ func BenchmarkEngineGoroutines(b *testing.B) {
 			b.Fatal("engine budget exhausted")
 		}
 	}
+}
+
+// --- E10: batched Monte Carlo simulation (internal/mcsim) -------------------
+
+// BenchmarkMCSimThroughput measures the batch engine's steady-state
+// step rate: one op simulates a full warm batch (decision caches
+// populated, zero allocations). steps/sec and samples/sec are reported
+// as extra metrics; the gathering rows stop lanes at the goal, the
+// searching row runs every lane to its full tick budget.
+func BenchmarkMCSimThroughput(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		task    core.Task
+		n, k    int
+		samples int
+		steps   int
+		workers int
+	}{
+		{"gathering/n=12/k=5/workers=1", core.Gathering, 12, 5, 4096, 100000, 1},
+		{"gathering/n=12/k=5/workers=0", core.Gathering, 12, 5, 4096, 100000, 0},
+		{"searching/n=12/k=6/workers=1", core.Searching, 12, 6, 256, 4096, 1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			start, err := enumerate.RandomRigid(rand.New(rand.NewSource(8)), tc.n, tc.k, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec, err := mcsim.SpecFor(tc.task, start, tc.samples, tc.steps, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := mcsim.New(spec, tc.workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := e.Simulate() // warm the decision cache
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep, err = e.Simulate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(rep.Steps)*float64(b.N)/sec, "steps/sec")
+				b.ReportMetric(float64(rep.Samples)*float64(b.N)/sec, "samples/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkMCSimVsGoroutineEngine is the speedup pairing behind the
+// batch engine: one op completes one gathered (n=12, k=5) sample, via
+// the batch engine (amortized over a 1024-lane batch) or via the
+// goroutine-per-robot CSP Engine. The ns/op ratio of the two rows is
+// the per-sample speedup.
+func BenchmarkMCSimVsGoroutineEngine(b *testing.B) {
+	start, err := enumerate.RandomRigid(rand.New(rand.NewSource(8)), 12, 5, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("batch/per-sample", func(b *testing.B) {
+		spec, err := mcsim.SpecFor(core.Gathering, start, 1024, 100000, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := mcsim.New(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Simulate(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			rep, err := e.Simulate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Gathered() != rep.Samples {
+				b.Fatal("lane failed to gather")
+			}
+			done += rep.Samples
+		}
+	})
+	b.Run("goroutines/per-sample", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := corda.FromConfig(start, false)
+			w.EnableMultiplicityDetection()
+			e := &corda.Engine{
+				World:     w,
+				Algorithm: gather.Gathering{},
+				Budget:    2_000_000,
+				Seed:      int64(i + 1),
+				Stop:      (*corda.World).Gathered,
+			}
+			if _, _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if !w.Gathered() {
+				b.Fatal("engine budget exhausted")
+			}
+		}
+	})
 }
 
 // --- snapshot construction (shared cost of every Look in every experiment) ---

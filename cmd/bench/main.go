@@ -28,9 +28,11 @@ import (
 	"ringrobots/internal/align"
 	"ringrobots/internal/config"
 	"ringrobots/internal/corda"
+	"ringrobots/internal/core"
 	"ringrobots/internal/enumerate"
 	"ringrobots/internal/feasibility"
 	"ringrobots/internal/gather"
+	"ringrobots/internal/mcsim"
 )
 
 type result struct {
@@ -268,6 +270,76 @@ func families() []family {
 			}
 			if _, err := gather.Run(w, 500*24*24); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+
+	// Batched Monte Carlo simulation (internal/mcsim): one op = one warm
+	// batch (caches populated, steady state allocates nothing). Divide
+	// ns/op by the lane count for per-sample cost; the
+	// EngineGoroutineGather row is the goroutine-per-robot baseline the
+	// batch engine's speedup is measured against (per gathered sample).
+	mcStart := rigid(8, 12, 5)
+	mcSpec := func(task core.Task, samples, steps int) corda.SimSpec {
+		spec, err := mcsim.SpecFor(task, mcStart, samples, steps, 42)
+		if err != nil {
+			panic(err)
+		}
+		return spec
+	}
+	addMC := func(name string, spec corda.SimSpec, workers int) {
+		e, err := mcsim.New(spec, workers)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := e.Simulate(); err != nil {
+			panic(err)
+		}
+		add(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Simulate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	addMC("MCSimGather/n=12/k=5/lanes=4096/workers=1", mcSpec(core.Gathering, 4096, 100000), 1)
+	addMC("MCSimGather/n=12/k=5/lanes=4096/workers=0", mcSpec(core.Gathering, 4096, 100000), 0)
+	sStart := rigid(8, 12, 6)
+	sSpec, err := mcsim.SpecFor(core.Searching, sStart, 256, 4096, 42)
+	if err != nil {
+		panic(err)
+	}
+	sEng, err := mcsim.New(sSpec, 1)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sEng.Simulate(); err != nil {
+		panic(err)
+	}
+	add("MCSimSearch/n=12/k=6/lanes=256/workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sEng.Simulate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("EngineGoroutineGather/n=12/k=5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := corda.FromConfig(mcStart, false)
+			w.EnableMultiplicityDetection()
+			e := &corda.Engine{
+				World:     w,
+				Algorithm: gather.Gathering{},
+				Budget:    2_000_000,
+				Seed:      int64(i + 1),
+				Stop:      (*corda.World).Gathered,
+			}
+			if _, _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if !w.Gathered() {
+				b.Fatal("engine budget exhausted")
 			}
 		}
 	})

@@ -1,0 +1,153 @@
+// Command mcsim runs batched Monte Carlo simulation of the paper's
+// tasks: thousands to millions of independent fair-schedule samples
+// through the struct-of-arrays batch engine, reporting empirical
+// gathering times, coverage, and clearing recurrence.
+//
+// Usage:
+//
+//	mcsim -task gathering -n 12 -k 5 -samples 100000 -seed 7
+//	mcsim -task searching -n 12 -k 6 -samples 10000 -steps 20000
+//	mcsim -task gathering -n 12 -k 5 -samples 1000 -backend both   # differential
+//	mcsim -task gathering -n 12 -k 5 -samples 1000 -verify 16      # lane replay
+//
+// The starting configuration is the same seeded random rigid one
+// cmd/ringsim would draw, so a batch run and a trace run are directly
+// comparable. The report is a pure function of the flags: any worker
+// count, and either backend, produces bit-identical statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"ringrobots"
+	"ringrobots/internal/corda"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcsim: ")
+	var (
+		taskName = flag.String("task", "gathering", "task: exploration | searching | gathering")
+		n        = flag.Int("n", 12, "ring size (max 64)")
+		k        = flag.Int("k", 5, "number of robots")
+		seed     = flag.Int64("seed", 1, "root seed (initial configuration and every lane's schedule)")
+		samples  = flag.Int("samples", 100000, "number of independent schedule samples (lanes)")
+		steps    = flag.Int("steps", 0, "per-lane scheduler-tick budget (0: task-dependent default)")
+		workers  = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
+		backend  = flag.String("backend", "batch", "backend: batch | proof | both (both cross-checks bit-identity)")
+		verify   = flag.Int("verify", 0, "replay this many lanes move-for-move through the reference engine")
+	)
+	flag.Parse()
+
+	var task ringrobots.Task
+	switch *taskName {
+	case "exploration":
+		task = ringrobots.Exploration
+	case "searching":
+		task = ringrobots.Searching
+	case "gathering":
+		task = ringrobots.Gathering
+	default:
+		log.Fatalf("unknown task %q", *taskName)
+	}
+	if *steps == 0 {
+		if task == ringrobots.Gathering {
+			*steps = 1000 * *n * *n // generous: random schedules gather in O(n·k) ticks
+		} else {
+			*steps = 20000
+		}
+	}
+
+	start, err := ringrobots.RandomRigidConfig(rand.New(rand.NewSource(*seed)), *n, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := ringrobots.MonteCarloSpec(task, start, *samples, *steps, uint64(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task=%s algorithm=%s n=%d k=%d samples=%d steps=%d seed=%d\n",
+		task, spec.Algorithm.Name(), *n, *k, *samples, *steps, *seed)
+	fmt.Printf("start: %v\n", start)
+
+	batch, err := ringrobots.NewBatchBackend(spec, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	rep, err := batch.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	if *backend == "proof" || *backend == "both" {
+		proof, err := ringrobots.NewProofBackend(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t1 := time.Now()
+		prep, err := proof.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("proof backend: %.3gs (batch %.3gs, %.0fx)\n",
+			time.Since(t1).Seconds(), elapsed.Seconds(), time.Since(t1).Seconds()/elapsed.Seconds())
+		if *backend == "both" {
+			if prep != rep {
+				log.Fatalf("DIFFERENTIAL FAILURE: proof report differs from batch\nbatch: %+v\nproof: %+v", rep, prep)
+			}
+			fmt.Println("differential: proof report bit-identical to batch")
+		}
+		if *backend == "proof" {
+			rep = prep
+		}
+	}
+
+	printReport(task, *n, rep, elapsed)
+
+	for lane := 0; lane < *verify && lane < *samples; lane++ {
+		if _, err := batch.VerifyLane(lane); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *verify > 0 {
+		fmt.Printf("verified %d lanes move-for-move against the reference engine\n", min(*verify, *samples))
+	}
+
+	if task == ringrobots.Gathering && rep.Gathered() != rep.Samples {
+		fmt.Printf("warning: %d lanes exhausted the budget before gathering\n", rep.Samples-rep.Gathered())
+		os.Exit(1)
+	}
+}
+
+func printReport(task ringrobots.Task, n int, rep ringrobots.SimReport, elapsed time.Duration) {
+	fmt.Printf("lanes: %d in %.3gs (%.2fM steps/sec, %.3g samples/sec)\n",
+		rep.Samples, elapsed.Seconds(),
+		float64(rep.Steps)/elapsed.Seconds()/1e6, float64(rep.Samples)/elapsed.Seconds())
+	fmt.Printf("steps: %d total, %d moves\n", rep.Steps, rep.Moves)
+	fmt.Printf("outcomes: gathered=%d budget=%d collision=%d\n",
+		rep.Outcomes[corda.LaneGathered], rep.Outcomes[corda.LaneBudget], rep.Outcomes[corda.LaneCollision])
+	if task == ringrobots.Gathering {
+		fmt.Printf("gathering: rate=%.4f mean=%.1f ticks, histogram %v\n",
+			rep.GatheredRate(), rep.MeanGatherSteps(), rep.GatherHist)
+	}
+	fmt.Printf("coverage: mean %.2f of %d nodes, %d lanes covered all\n",
+		float64(rep.CoverageSum)/float64(rep.Samples), n, rep.CoveredLanes)
+	if task == ringrobots.Searching {
+		fmt.Printf("clearing: %d all-clear events, %d lanes cleared, %d recurrently (mean %.1f events/lane)\n",
+			rep.AllClearEvents, rep.AllClearLanes, rep.RecurrentClearLanes,
+			float64(rep.AllClearEvents)/float64(rep.Samples))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

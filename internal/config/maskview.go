@@ -1,0 +1,95 @@
+package config
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ringrobots/internal/ring"
+)
+
+// Lane views: directional interval views built straight from a packed
+// occupancy bitmask, without materializing a Config. This is the
+// ViewFromInto pattern one level lower — the batched Monte Carlo engine
+// (internal/mcsim) holds thousands of worlds as single-word occupancy
+// masks and must be able to hand an Algorithm its perception without
+// allocating or touching the memoized canonical machinery.
+//
+// Bit u of a mask reports occupancy of node u on an n-node ring, n ≤ 64.
+// The views produced here are exactly Config.ViewFromInto's for the
+// configuration {u : bit u set} (differentially tested).
+
+// MaxMaskRing is the widest ring representable as a single-word
+// occupancy mask, the limit of the mask-view helpers and of the batch
+// simulation backend built on them.
+const MaxMaskRing = 64
+
+// OccupancyMask packs the configuration into an occupancy bitmask.
+// It errors when the ring exceeds MaxMaskRing nodes.
+func (c Config) OccupancyMask() (uint64, error) {
+	if c.N() > MaxMaskRing {
+		return 0, fmt.Errorf("config: ring size %d exceeds the %d-node mask limit", c.N(), MaxMaskRing)
+	}
+	var m uint64
+	for _, u := range c.nodes {
+		m |= 1 << uint(u)
+	}
+	return m, nil
+}
+
+// ViewFromMaskInto returns the view of occupied node u of the occupancy
+// mask occ (n-node ring, n ≤ 64) read in direction d, writing into buf
+// like ViewFromInto. It panics if u is not occupied, mirroring ViewFrom.
+func ViewFromMaskInto(occ uint64, n, u int, d ring.Direction, buf View) View {
+	if occ&(1<<uint(u)) == 0 {
+		return panicUnoccupied(u)
+	}
+	k := bits.OnesCount64(occ)
+	var v View
+	if cap(buf) >= k {
+		v = buf[:k]
+	} else {
+		v = make(View, k)
+	}
+	if d == ring.CW {
+		// v[j] is the gap after the j-th occupied node met walking up
+		// from u — the interval cycle read clockwise from u's interval.
+		cur := u
+		for j := 0; j < k; j++ {
+			gap := 0
+			w := cur + 1
+			if w == n {
+				w = 0
+			}
+			for occ&(1<<uint(w)) == 0 {
+				gap++
+				w++
+				if w == n {
+					w = 0
+				}
+			}
+			v[j] = gap
+			cur = w
+		}
+	} else {
+		// Counter-clockwise: v[j] is the gap below the j-th occupied
+		// node met walking down from u (starting with u itself).
+		cur := u
+		for j := 0; j < k; j++ {
+			gap := 0
+			w := cur - 1
+			if w < 0 {
+				w = n - 1
+			}
+			for occ&(1<<uint(w)) == 0 {
+				gap++
+				w--
+				if w < 0 {
+					w = n - 1
+				}
+			}
+			v[j] = gap
+			cur = w
+		}
+	}
+	return v
+}

@@ -1,0 +1,82 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringrobots/internal/ring"
+)
+
+// TestViewFromMaskMatchesConfig checks that views built straight from
+// an occupancy bitmask agree with Config.ViewFromInto for every
+// observer and direction, across random configurations up to the
+// 64-node mask limit.
+func TestViewFromMaskMatchesConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(MaxMaskRing-2)
+		k := 1 + rng.Intn(n)
+		nodes := rng.Perm(n)[:k]
+		c, err := New(n, nodes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		occ, err := c.OccupancyMask()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf View
+		for _, u := range c.Nodes() {
+			for _, d := range []ring.Direction{ring.CW, ring.CCW} {
+				want := c.ViewFromInto(u, d, nil)
+				buf = ViewFromMaskInto(occ, n, u, d, buf)
+				if !viewsEqual(buf, want) {
+					t.Fatalf("n=%d nodes=%v u=%d dir=%v: mask view %v, config view %v", n, nodes, u, d, buf, want)
+				}
+			}
+		}
+	}
+}
+
+func viewsEqual(a, b View) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOccupancyMaskRoundTrip pins the bit layout: bit u set iff node u
+// is occupied, and the n > 64 guard.
+func TestOccupancyMaskRoundTrip(t *testing.T) {
+	c := MustNew(10, 0, 3, 7)
+	occ, err := c.OccupancyMask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1)<<0 | 1<<3 | 1<<7; occ != want {
+		t.Fatalf("mask %b, want %b", occ, want)
+	}
+	big, err := New(MaxMaskRing+1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.OccupancyMask(); err == nil {
+		t.Fatal("expected an error for n > MaxMaskRing")
+	}
+}
+
+// TestViewFromMaskPanicsUnoccupied pins the same contract ViewFromInto
+// has: an unoccupied observer is a caller bug.
+func TestViewFromMaskPanicsUnoccupied(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for an unoccupied observer")
+		}
+	}()
+	ViewFromMaskInto(0b101, 5, 1, ring.CW, nil)
+}

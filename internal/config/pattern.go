@@ -43,11 +43,16 @@ func Plus(seq ...int) PatternItem { return PatternItem{Seq: seq, Min: 1, Max: -1
 func Rep(m int, seq ...int) PatternItem { return PatternItem{Seq: seq, Min: m, Max: m} }
 
 // MatchView reports whether view v matches the pattern exactly
-// (anchored at both ends).
+// (anchored at both ends). It compiles the pattern to its position NFA
+// (patterncompile.go) and simulates; callers matching one pattern
+// against many views or configurations should Compile once and reuse.
 func (p Pattern) MatchView(v View) bool {
-	return matchFrom(p, v, 0)
+	return p.Compile().MatchView(v)
 }
 
+// matchFrom is the original backtracking matcher, kept as the
+// differential oracle for the compiled automaton (it is exponential on
+// adversarial patterns, so it is no longer on any public path).
 func matchFrom(p Pattern, v View, pos int) bool {
 	if len(p) == 0 {
 		return pos == len(v)
@@ -79,14 +84,10 @@ func matchFrom(p Pattern, v View, pos int) bool {
 }
 
 // Matches reports whether any view of configuration c matches p —
-// the paper's "C belongs to pattern P".
+// the paper's "C belongs to pattern P". The pattern is compiled once
+// and reused across all 2k views.
 func (c Config) Matches(p Pattern) bool {
-	for _, v := range c.Views() {
-		if p.MatchView(v) {
-			return true
-		}
-	}
-	return false
+	return p.Compile().Matches(c)
 }
 
 // String renders the pattern roughly in the paper's notation.

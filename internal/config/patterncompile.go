@@ -1,0 +1,215 @@
+package config
+
+import "math/bits"
+
+// Compiled pattern matching: a Pattern is translated once into a
+// position NFA (Glushkov-style — one node per expanded symbol
+// occurrence, epsilons eliminated at compile time) and matched by
+// bitset simulation. The naive backtracking matcher this replaces
+// (matchFrom, kept as the differential oracle) is exponential on
+// patterns with several unbounded items over self-overlapping units;
+// the automaton is O(len(view) × nodes/64 words) with no backtracking
+// and, on the ≤ 64-node fast path every paper pattern hits, allocation
+// free after compilation.
+//
+// Construction: item {Seq, Min, Max} expands to Min mandatory copies of
+// Seq, then — for unbounded Max — one optional self-looping copy
+// (realizing ≥ Min repetitions), or Max − Min optional copies for
+// finite Max. Fragments concatenate with the standard nullable-aware
+// entry/exit bookkeeping.
+
+// nfaFrag is a fragment under construction: which nodes can begin it,
+// which can end it, and whether it matches the empty string.
+type nfaFrag struct {
+	entry, exit []uint64
+	nullable    bool
+}
+
+// CompiledPattern is a Pattern compiled to a position NFA.
+type CompiledPattern struct {
+	words int // bitset words: (nodes + 63) / 64
+
+	syms   []int      // syms[i]: the symbol node i consumes
+	follow [][]uint64 // follow[i]: nodes that may consume next after i
+
+	entry    []uint64 // nodes that may consume the first symbol
+	exit     []uint64 // nodes that may consume the last symbol
+	nullable bool     // whether the empty view matches
+}
+
+// Compile translates the pattern into its position NFA.
+func (p Pattern) Compile() *CompiledPattern {
+	cp := &CompiledPattern{}
+	nodes := 0
+	for _, it := range p {
+		copies := it.Min
+		if it.Max < 0 {
+			copies++ // the self-looping optional copy
+		} else if it.Max > it.Min {
+			copies += it.Max - it.Min
+		}
+		nodes += copies * len(it.Seq)
+	}
+	cp.words = (nodes + 63) / 64
+	if cp.words == 0 {
+		cp.words = 1
+	}
+	cp.syms = make([]int, 0, nodes)
+	cp.follow = make([][]uint64, 0, nodes)
+
+	// base appends one linear copy of seq and returns its fragment.
+	base := func(seq []int) nfaFrag {
+		first := len(cp.syms)
+		for _, q := range seq {
+			cp.syms = append(cp.syms, q)
+			cp.follow = append(cp.follow, make([]uint64, cp.words))
+		}
+		for i := first; i < len(cp.syms)-1; i++ {
+			setBit(cp.follow[i], i+1)
+		}
+		f := nfaFrag{entry: make([]uint64, cp.words), exit: make([]uint64, cp.words)}
+		setBit(f.entry, first)
+		setBit(f.exit, len(cp.syms)-1)
+		return f
+	}
+	// concat chains g after f: every exit of f may be followed by every
+	// entry of g; nullability lets entries/exits bleed through.
+	concat := func(f, g nfaFrag) nfaFrag {
+		forEachBit(f.exit, func(i int) { orInto(cp.follow[i], g.entry) })
+		out := nfaFrag{
+			entry:    append([]uint64(nil), f.entry...),
+			exit:     append([]uint64(nil), g.exit...),
+			nullable: f.nullable && g.nullable,
+		}
+		if f.nullable {
+			orInto(out.entry, g.entry)
+		}
+		if g.nullable {
+			orInto(out.exit, f.exit)
+		}
+		return out
+	}
+
+	whole := nfaFrag{entry: make([]uint64, cp.words), exit: make([]uint64, cp.words), nullable: true}
+	for _, it := range p {
+		if len(it.Seq) == 0 {
+			continue // an empty unit consumes nothing at any count
+		}
+		for c := 0; c < it.Min; c++ {
+			whole = concat(whole, base(it.Seq))
+		}
+		if it.Max < 0 {
+			g := base(it.Seq)
+			forEachBit(g.exit, func(i int) { orInto(cp.follow[i], g.entry) })
+			g.nullable = true
+			whole = concat(whole, g)
+		} else {
+			for c := it.Min; c < it.Max; c++ {
+				g := base(it.Seq)
+				g.nullable = true
+				whole = concat(whole, g)
+			}
+		}
+	}
+	cp.entry, cp.exit, cp.nullable = whole.entry, whole.exit, whole.nullable
+	return cp
+}
+
+// MatchView reports whether view v matches the compiled pattern exactly
+// (anchored at both ends). Patterns expanding to at most 64 nodes — all
+// of the paper's — run on a two-register scalar path.
+func (cp *CompiledPattern) MatchView(v View) bool {
+	if len(v) == 0 {
+		return cp.nullable
+	}
+	if cp.words == 1 {
+		return cp.matchSmall(v)
+	}
+	return cp.matchWide(v)
+}
+
+// matchSmall is the single-word fast path.
+func (cp *CompiledPattern) matchSmall(v View) bool {
+	cur := cp.entry[0]
+	var last uint64
+	for _, x := range v {
+		var m, next uint64
+		rest := cur
+		for rest != 0 {
+			i := trailingZeros(rest)
+			rest &= rest - 1
+			if cp.syms[i] == x {
+				m |= 1 << uint(i)
+				next |= cp.follow[i][0]
+			}
+		}
+		if m == 0 {
+			return false
+		}
+		cur, last = next, m
+	}
+	return last&cp.exit[0] != 0
+}
+
+// matchWide is the multiword general path: it tracks the set of nodes
+// that consumed each symbol; acceptance is whether a final-symbol
+// consumer is an exit node.
+func (cp *CompiledPattern) matchWide(v View) bool {
+	cur := append([]uint64(nil), cp.entry...)
+	next := make([]uint64, cp.words)
+	last := make([]uint64, cp.words)
+	for _, x := range v {
+		for w := range next {
+			next[w] = 0
+			last[w] = 0
+		}
+		any := false
+		forEachBit(cur, func(i int) {
+			if cp.syms[i] == x {
+				any = true
+				setBit(last, i)
+				orInto(next, cp.follow[i])
+			}
+		})
+		if !any {
+			return false
+		}
+		cur, next = next, cur
+	}
+	for w := range last {
+		if last[w]&cp.exit[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether any view of configuration c matches — the
+// compiled form of Config.Matches for reuse across configurations.
+func (cp *CompiledPattern) Matches(c Config) bool {
+	for _, v := range c.Views() {
+		if cp.MatchView(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func setBit(b []uint64, i int) { b[i>>6] |= 1 << uint(i&63) }
+
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+func orInto(dst, src []uint64) {
+	for w := range dst {
+		dst[w] |= src[w]
+	}
+}
+
+func forEachBit(b []uint64, fn func(i int)) {
+	for w, word := range b {
+		for word != 0 {
+			i := trailingZeros(word)
+			word &= word - 1
+			fn(w<<6 | i)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPattern builds a random pattern over a small symbol alphabet:
+// the shapes the constructors can produce (literals, stars, pluses,
+// bounded repetitions, multi-symbol units).
+func randPattern(rng *rand.Rand) Pattern {
+	p := make(Pattern, 1+rng.Intn(4))
+	for i := range p {
+		seq := make([]int, 1+rng.Intn(3))
+		for j := range seq {
+			seq[j] = rng.Intn(3)
+		}
+		switch rng.Intn(4) {
+		case 0:
+			p[i] = Lit(seq...)
+		case 1:
+			p[i] = Star(seq...)
+		case 2:
+			p[i] = Plus(seq...)
+		default:
+			p[i] = Rep(rng.Intn(3), seq...)
+		}
+	}
+	return p
+}
+
+// TestCompiledPatternMatchesOracle fuzzes the position-NFA matcher
+// against the original backtracking matcher on random pattern/view
+// pairs.
+func TestCompiledPatternMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5000; trial++ {
+		p := randPattern(rng)
+		cp := p.Compile()
+		for vi := 0; vi < 20; vi++ {
+			v := make(View, rng.Intn(10))
+			for j := range v {
+				v[j] = rng.Intn(3)
+			}
+			want := matchFrom(p, v, 0)
+			if got := cp.MatchView(v); got != want {
+				t.Fatalf("pattern %v view %v: compiled %v, oracle %v", p, v, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledPatternLemmaFamilies pins the compiled matcher on the
+// paper's actual pattern families, across exhaustive small views.
+func TestCompiledPatternLemmaFamilies(t *testing.T) {
+	pats := []Pattern{Lemma4Pattern5(), Lemma5Pattern1()}
+	for _, l1 := range []int{2, 3, 4} {
+		p, err := Lemma4Pattern6(l1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pats = append(pats, p)
+	}
+	// Exhaustive views over {0,1,2} up to length 8.
+	var views []View
+	var gen func(v View)
+	gen = func(v View) {
+		views = append(views, append(View(nil), v...))
+		if len(v) == 8 {
+			return
+		}
+		for s := 0; s <= 2; s++ {
+			gen(append(v, s))
+		}
+	}
+	gen(View{})
+	for _, p := range pats {
+		cp := p.Compile()
+		for _, v := range views {
+			if got, want := cp.MatchView(v), matchFrom(p, v, 0); got != want {
+				t.Fatalf("pattern %v view %v: compiled %v, oracle %v", p, v, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledPatternWide exercises the multiword path (> 64 NFA nodes)
+// with a Lemma 4(6)-shaped pattern large enough to spill words.
+func TestCompiledPatternWide(t *testing.T) {
+	p, err := Lemma4Pattern6(40) // expands to > 120 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := p.Compile()
+	if cp.words < 2 {
+		t.Fatalf("expected a multiword automaton, got %d words", cp.words)
+	}
+	// Build the canonical member: 0^40 1 (0^39 1)^2 0^38 1.
+	var v View
+	push := func(zeros int) {
+		for i := 0; i < zeros; i++ {
+			v = append(v, 0)
+		}
+		v = append(v, 1)
+	}
+	push(40)
+	push(39)
+	push(39)
+	push(38)
+	if !cp.MatchView(v) {
+		t.Fatal("canonical Lemma 4(6) member rejected")
+	}
+	if got, want := cp.MatchView(v[:len(v)-1]), matchFrom(p, v[:len(v)-1], 0); got != want {
+		t.Fatalf("truncated member: compiled %v, oracle %v", got, want)
+	}
+	v[3] = 1 // corrupt the first block
+	if cp.MatchView(v) {
+		t.Fatal("corrupted view accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package corda
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/ring"
+)
+
+// TestSnapshotFromMaskMatchesWorld pins the batch engines' perception
+// path: SnapshotFromMask must reproduce World.Snapshot — views, their
+// lexicographic ordering, the Lo direction, and the multiplicity bit —
+// for every robot of random worlds.
+func TestSnapshotFromMaskMatchesWorld(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(config.MaxMaskRing-2)
+		k := 1 + rng.Intn(n)
+		nodes := rng.Perm(n)[:k]
+		c, err := config.New(n, nodes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, multDetect := range []bool{false, true} {
+			w := FromConfig(c, false)
+			if multDetect {
+				w.EnableMultiplicityDetection()
+			}
+			occ, err := c.OccupancyMask()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bufLo, bufHi config.View
+			for id := 0; id < w.K(); id++ {
+				want, wantLoDir := w.Snapshot(id)
+				u := w.Position(id)
+				mult := multDetect && w.CountAt(u) > 1
+				var got Snapshot
+				var gotLoDir ring.Direction
+				got, gotLoDir, bufLo, bufHi = SnapshotFromMask(occ, n, u, mult, bufLo, bufHi)
+				if gotLoDir != wantLoDir {
+					t.Fatalf("n=%d nodes=%v robot %d: loDir %v, want %v", n, nodes, id, gotLoDir, wantLoDir)
+				}
+				if got.Multiplicity != want.Multiplicity {
+					t.Fatalf("n=%d nodes=%v robot %d: mult %v, want %v", n, nodes, id, got.Multiplicity, want.Multiplicity)
+				}
+				if !got.Lo.Equal(want.Lo) || !got.Hi.Equal(want.Hi) {
+					t.Fatalf("n=%d nodes=%v robot %d: snapshot (%v, %v), want (%v, %v)",
+						n, nodes, id, got.Lo, got.Hi, want.Lo, want.Hi)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotFromMaskZeroAlloc pins the steady-state contract: with
+// buffers already grown, SnapshotFromMask allocates nothing.
+func TestSnapshotFromMaskZeroAlloc(t *testing.T) {
+	c := config.MustNew(16, 0, 2, 5, 9, 12)
+	occ, err := c.OccupancyMask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufLo, bufHi config.View
+	_, _, bufLo, bufHi = SnapshotFromMask(occ, 16, 5, false, bufLo, bufHi)
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _, bufLo, bufHi = SnapshotFromMask(occ, 16, 5, false, bufLo, bufHi)
+	})
+	if allocs != 0 {
+		t.Errorf("SnapshotFromMask allocated %.1f times per call with warm buffers, want 0", allocs)
+	}
+}

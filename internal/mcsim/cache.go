@@ -1,0 +1,89 @@
+package mcsim
+
+// decisionCache memoizes resolved Compute outcomes per perception
+// class. Algorithms are pure functions of their Snapshot, and a
+// Snapshot is fully determined by the occupancy mask rotated so the
+// observer sits at node 0 plus the observer's multiplicity bit — so one
+// open-addressing probe replaces view construction, Config
+// reconstruction and the algorithm's classification logic on every
+// steady-state Look. Misses (the only allocating path) fall back to
+// corda.SnapshotFromMask + Algorithm.Compute and insert; after warmup
+// the step loop never allocates.
+//
+// Keys: the observer-rotated mask always has bit 0 set (the observer's
+// own node), so it is stored shifted right by one, freeing bit 63 for
+// the multiplicity flag — full n ≤ 64 support in a single word.
+
+// Resolved decision classes. Unlike corda.Decision these are already
+// mapped to simulator directions via the Lo-direction of the perception
+// class, so the step loop needs no view comparison.
+const (
+	decStay   = 0 // no move this cycle
+	decCW     = 1 // move clockwise
+	decCCW    = 2 // move counter-clockwise
+	decEither = 3 // adversary-resolved (symmetric perception or Either)
+
+	decEmpty = 0xFF // open-addressing empty slot marker
+)
+
+type decisionCache struct {
+	keys []uint64
+	vals []uint8
+	used int
+}
+
+func newDecisionCache() *decisionCache {
+	c := &decisionCache{}
+	c.grow(1 << 10)
+	return c
+}
+
+func (c *decisionCache) grow(capacity int) {
+	oldKeys, oldVals := c.keys, c.vals
+	c.keys = make([]uint64, capacity)
+	c.vals = make([]uint8, capacity)
+	for i := range c.vals {
+		c.vals[i] = decEmpty
+	}
+	c.used = 0
+	for i, v := range oldVals {
+		if v != decEmpty {
+			c.put(oldKeys[i], v)
+		}
+	}
+}
+
+// get probes for key; ok is false on a miss.
+func (c *decisionCache) get(key uint64) (uint8, bool) {
+	mask := uint64(len(c.keys) - 1)
+	i := mix64(key) & mask
+	for {
+		v := c.vals[i]
+		if v == decEmpty {
+			return 0, false
+		}
+		if c.keys[i] == key {
+			return v, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put inserts key → val, growing at 3/4 load.
+func (c *decisionCache) put(key uint64, val uint8) {
+	if 4*(c.used+1) > 3*len(c.keys) {
+		c.grow(2 * len(c.keys))
+	}
+	mask := uint64(len(c.keys) - 1)
+	i := mix64(key) & mask
+	for c.vals[i] != decEmpty {
+		if c.keys[i] == key {
+			c.vals[i] = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+	c.keys[i] = key
+	c.vals[i] = val
+	c.used++
+}

@@ -1,0 +1,8 @@
+package mcsim
+
+import "time"
+
+// Monotonic-clock helpers for the throughput test, kept out of the
+// library (the engine itself never reads the clock).
+func nowMono() time.Time            { return time.Now() }
+func sinceMono(t time.Time) float64 { return time.Since(t).Seconds() }

@@ -1,0 +1,391 @@
+// Package mcsim is the throughput-oriented Monte Carlo simulation
+// backend for the min-CORDA ring model: thousands of independent worlds
+// held in struct-of-arrays layout and stepped in a tight,
+// allocation-free loop — no goroutine per robot, no channels — at
+// millions of Look-Compute-Move half-cycles per second.
+//
+// Each lane is one independent fair-schedule sample: per-lane
+// randomness comes from a splittable seeded stream (rng.go), every
+// scheduler tick activates a uniformly chosen robot (executing its
+// pending move if it holds one, serving a Look-Compute otherwise), and
+// Compute outcomes are memoized per perception class (cache.go), so the
+// steady-state step loop touches a few words of lane state and one
+// cache line of the decision table per tick.
+//
+// Lane state mirrors the feasibility solver's packed representation
+// lifted from n ≤ 32 to n ≤ 64: a 64-bit occupancy mask plus two 64-bit
+// pending words (pending-move flag and direction per robot), with
+// per-lane robot positions and node multiplicities in flat arrays.
+//
+// The package provides two corda.Backend implementations sharing one
+// aggregation path: Engine (the batch engine) and ProofBackend
+// (identical workload driven one world at a time through
+// corda.AsyncRunner). Both consume per-lane randomness on the same
+// schedule, so their SimReports are bit-identical — the standing
+// differential oracle — and any single batch lane can be replayed
+// move-for-move through the proof engine under its recorded schedule
+// (replay.go).
+package mcsim
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"ringrobots/internal/config"
+	"ringrobots/internal/corda"
+	"ringrobots/internal/ring"
+)
+
+// Engine is the batched struct-of-arrays backend. Create with New; an
+// Engine's buffers are sized once and reused across Simulate calls, so
+// repeated runs of a warm engine allocate nothing.
+type Engine struct {
+	spec    corda.SimSpec
+	workers int
+
+	n, k int
+	// start state shared by every lane
+	startPos   []uint8
+	startOcc   uint64
+	startClear uint64
+
+	// struct-of-arrays lane state
+	pos      []uint8  // pos[lane*k+i] = node of robot i
+	cnt      []uint8  // cnt[lane*n+u] = robots on node u
+	occ      []uint64 // occupancy mask per lane
+	pendMask []uint64 // bit i: robot i holds a computed-but-unexecuted move
+	pendDir  []uint64 // bit i: that move is counter-clockwise
+
+	// per-lane outputs, aggregated in lane order after the run
+	outcome   []uint8
+	ticks     []uint32
+	laneMoves []uint32
+	visited   []uint64
+	clearEnd  []uint64
+	allClearN []uint32
+
+	ws []*workerState
+}
+
+// workerState is one worker's private scratch: the decision cache and
+// the view buffers behind cache misses. Workers never share mutable
+// state, which is what keeps the lane loop lock- and allocation-free.
+type workerState struct {
+	cache        *decisionCache
+	bufLo, bufHi config.View
+}
+
+// New builds a batch engine for the spec with the given worker count
+// (0 means GOMAXPROCS). Lane buffers are allocated here, once.
+func New(spec corda.SimSpec, workers int) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.MaxSteps > 1<<31-1 {
+		return nil, fmt.Errorf("mcsim: MaxSteps %d exceeds the per-lane tick limit", spec.MaxSteps)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Samples {
+		workers = spec.Samples
+	}
+	n, k := spec.Start.N(), spec.Start.K()
+	occ0, err := spec.Start.OccupancyMask()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		spec:     spec,
+		workers:  workers,
+		n:        n,
+		k:        k,
+		startOcc: occ0,
+	}
+	for _, u := range spec.Start.Nodes() {
+		e.startPos = append(e.startPos, uint8(u))
+	}
+	if spec.TrackClearing {
+		e.startClear = contInit(occ0, n)
+	}
+	lanes := spec.Samples
+	e.pos = make([]uint8, lanes*k)
+	e.cnt = make([]uint8, lanes*n)
+	e.occ = make([]uint64, lanes)
+	e.pendMask = make([]uint64, lanes)
+	e.pendDir = make([]uint64, lanes)
+	e.outcome = make([]uint8, lanes)
+	e.ticks = make([]uint32, lanes)
+	e.laneMoves = make([]uint32, lanes)
+	e.visited = make([]uint64, lanes)
+	e.clearEnd = make([]uint64, lanes)
+	e.allClearN = make([]uint32, lanes)
+	e.ws = make([]*workerState, workers)
+	for i := range e.ws {
+		e.ws[i] = &workerState{cache: newDecisionCache()}
+	}
+	return e, nil
+}
+
+// Name implements corda.Backend.
+func (e *Engine) Name() string { return "batch" }
+
+// Workers returns the resolved worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Simulate implements corda.Backend: it runs every lane and aggregates
+// in lane order. The report is a pure function of the spec — identical
+// at any worker count.
+func (e *Engine) Simulate() (corda.SimReport, error) {
+	lanes := e.spec.Samples
+	if e.workers == 1 {
+		ws := e.ws[0]
+		for lane := 0; lane < lanes; lane++ {
+			e.runLane(ws, lane, nil)
+		}
+	} else {
+		chunk := (lanes + e.workers - 1) / e.workers
+		var wg sync.WaitGroup
+		for w := 0; w < e.workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > lanes {
+				hi = lanes
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(ws *workerState, lo, hi int) {
+				defer wg.Done()
+				for lane := lo; lane < hi; lane++ {
+					e.runLane(ws, lane, nil)
+				}
+			}(e.ws[w], lo, hi)
+		}
+		wg.Wait()
+	}
+	rep := corda.SimReport{Samples: lanes}
+	for lane := 0; lane < lanes; lane++ {
+		accumulate(&rep, e.n, e.spec.TrackClearing,
+			corda.LaneOutcome(e.outcome[lane]), e.ticks[lane], e.laneMoves[lane],
+			e.visited[lane], e.clearEnd[lane], e.allClearN[lane])
+	}
+	return rep, nil
+}
+
+// rotToObserver rotates an n-bit occupancy mask so the observer's node
+// u lands at bit 0: bit j of the result is node (u+j) mod n.
+func rotToObserver(occ uint64, u, n int) uint64 {
+	if u == 0 {
+		return occ
+	}
+	return (occ>>uint(u) | occ<<uint(n-u)) & fullMask(n)
+}
+
+// runLane executes one lane from the start configuration to its
+// outcome. With rec non-nil the full schedule and move trace are
+// recorded for replay through the proof engine; the control flow is
+// identical either way. This is the engine's hot loop: on the
+// steady-state path (decision cache warm) it performs no allocation,
+// no channel operation and no lock.
+func (e *Engine) runLane(ws *workerState, lane int, rec *Trajectory) {
+	n, k := e.n, e.k
+	pos := e.pos[lane*k : (lane+1)*k]
+	cnt := e.cnt[lane*n : (lane+1)*n]
+	copy(pos, e.startPos)
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, u := range pos {
+		cnt[u]++
+	}
+	occ := e.startOcc
+	full := fullMask(n)
+	var pendMask, pendDir uint64
+	visited := occ
+	clear := e.startClear
+	trackClear := e.spec.TrackClearing
+	var allClearEvents uint32
+	if trackClear && clear == full {
+		allClearEvents = 1
+		clear = clearReset(occ, n)
+	}
+	rng := laneSeed(e.spec.Seed, lane)
+	stopGather := e.spec.StopOnGathered
+	exclusive := e.spec.Exclusive
+	mult := e.spec.Multiplicity
+	maxT := uint32(e.spec.MaxSteps)
+	outcome := corda.LaneBudget
+	var ticks, moves uint32
+
+	for {
+		if stopGather && pendMask == 0 && occ&(occ-1) == 0 {
+			outcome = corda.LaneGathered
+			break
+		}
+		if ticks >= maxT {
+			break
+		}
+		r := nextRand(&rng)
+		i := randIndex(r, k)
+		bit := uint64(1) << uint(i)
+		if pendMask&bit != 0 {
+			// Execute robot i's pending move.
+			if rec != nil {
+				rec.Actions = append(rec.Actions, corda.Action{Kind: corda.ActMove, Robot: i})
+			}
+			pendMask &^= bit
+			from := int(pos[i])
+			to := from + 1
+			if pendDir&bit != 0 {
+				to = from - 1
+				if to < 0 {
+					to = n - 1
+				}
+			} else if to == n {
+				to = 0
+			}
+			ticks++
+			if exclusive && cnt[to] > 0 {
+				outcome = corda.LaneCollision
+				break
+			}
+			cnt[from]--
+			if cnt[from] == 0 {
+				occ &^= 1 << uint(from)
+			}
+			if cnt[to] == 0 {
+				occ |= 1 << uint(to)
+			}
+			cnt[to]++
+			pos[i] = uint8(to)
+			moves++
+			visited |= 1 << uint(to)
+			if trackClear {
+				clear = contMove(clear, occ, n, from, to)
+				if clear == full {
+					allClearEvents++
+					clear = clearReset(occ, n)
+				}
+			}
+			if rec != nil {
+				rec.Moves = append(rec.Moves, corda.MoveEvent{Robot: i, From: from, To: to, Step: int(ticks) - 1})
+			}
+		} else {
+			// Serve robot i's Look-Compute.
+			if rec != nil {
+				rec.Actions = append(rec.Actions, corda.Action{Kind: corda.ActLookCompute, Robot: i})
+			}
+			u := int(pos[i])
+			key := rotToObserver(occ, u, n) >> 1
+			isMult := mult && cnt[u] > 1
+			if isMult {
+				key |= 1 << 63
+			}
+			d, ok := ws.cache.get(key)
+			if !ok {
+				d = e.computeDecision(ws, occ, u, isMult)
+				ws.cache.put(key, d)
+			}
+			ticks++
+			if d != decStay {
+				// The adversary's Either draw is consumed on every
+				// moving decision, mirroring AsyncRunner's eager
+				// ResolveEither evaluation (see rng.go).
+				adv := ring.CW
+				if nextRand(&rng)&1 == 1 {
+					adv = ring.CCW
+				}
+				dir := adv
+				switch d {
+				case decCW:
+					dir = ring.CW
+				case decCCW:
+					dir = ring.CCW
+				}
+				pendMask |= bit
+				if dir == ring.CCW {
+					pendDir |= bit
+				} else {
+					pendDir &^= bit
+				}
+				if rec != nil {
+					rec.Either = append(rec.Either, adv)
+				}
+			}
+		}
+	}
+
+	e.occ[lane] = occ
+	e.pendMask[lane] = pendMask
+	e.pendDir[lane] = pendDir
+	e.outcome[lane] = uint8(outcome)
+	e.ticks[lane] = ticks
+	e.laneMoves[lane] = moves
+	e.visited[lane] = visited
+	e.clearEnd[lane] = clear
+	e.allClearN[lane] = allClearEvents
+}
+
+// computeDecision is the cache-miss path: materialize the perception
+// into the worker's view buffers, run the algorithm, and resolve the
+// decision against the Lo direction of this perception class. The
+// resolution mirrors AsyncRunner exactly: Stay short-circuits,
+// symmetric perceptions force Either, Either is adversary-resolved.
+func (e *Engine) computeDecision(ws *workerState, occ uint64, u int, mult bool) uint8 {
+	snap, loDir, bufLo, bufHi := corda.SnapshotFromMask(occ, e.n, u, mult, ws.bufLo, ws.bufHi)
+	ws.bufLo, ws.bufHi = bufLo, bufHi
+	d := e.spec.Algorithm.Compute(snap)
+	if d == corda.Stay {
+		return decStay
+	}
+	if snap.Symmetric() || d == corda.Either {
+		return decEither
+	}
+	dir := loDir
+	if d == corda.TowardHi {
+		dir = dir.Opposite()
+	}
+	if dir == ring.CW {
+		return decCW
+	}
+	return decCCW
+}
+
+// accumulate folds one lane into the report. Both backends run it in
+// lane order, which is what makes their reports comparable with ==.
+func accumulate(rep *corda.SimReport, n int, trackClear bool, outcome corda.LaneOutcome, ticks, moves uint32, visited, clearEnd uint64, allClearN uint32) {
+	rep.Steps += uint64(ticks)
+	rep.Moves += uint64(moves)
+	rep.Outcomes[outcome]++
+	if outcome == corda.LaneGathered {
+		rep.GatherHist.Add(uint64(ticks))
+		rep.GatherSum += uint64(ticks)
+	}
+	cov := bits.OnesCount64(visited)
+	rep.CoverageSum += uint64(cov)
+	if cov == n {
+		rep.CoveredLanes++
+	}
+	if trackClear {
+		rep.AllClearEvents += uint64(allClearN)
+		if allClearN >= 1 {
+			rep.AllClearLanes++
+		}
+		if allClearN >= 2 {
+			rep.RecurrentClearLanes++
+		}
+		rep.ClearSum += uint64(bits.OnesCount64(clearEnd))
+	}
+}
+
+// IsCollision reports whether err (possibly wrapped) is a corda
+// collision — the proof backend's lane-ending condition.
+func IsCollision(err error) bool {
+	var ce *corda.CollisionError
+	return errors.As(err, &ce)
+}

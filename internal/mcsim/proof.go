@@ -1,0 +1,165 @@
+package mcsim
+
+import (
+	"ringrobots/internal/corda"
+	"ringrobots/internal/ring"
+)
+
+// ProofBackend runs the same Monte Carlo workload as the batch Engine,
+// but one world at a time through corda.AsyncRunner — the repo's
+// reference asynchronous semantics. Its laneScheduler consumes the
+// per-lane randomness stream on exactly the schedule rng.go documents,
+// so every lane evolves bit-identically to the batch engine's and the
+// two backends' SimReports compare equal with ==. It exists to be slow
+// and obviously right: the standing differential oracle for the batch
+// engine, and the throughput baseline the speedup criterion is measured
+// against.
+type ProofBackend struct {
+	spec corda.SimSpec
+}
+
+// NewProof builds the AsyncRunner-driven reference backend.
+func NewProof(spec corda.SimSpec) (*ProofBackend, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &ProofBackend{spec: spec}, nil
+}
+
+// Name implements corda.Backend.
+func (p *ProofBackend) Name() string { return "proof" }
+
+// Simulate implements corda.Backend.
+func (p *ProofBackend) Simulate() (corda.SimReport, error) {
+	rep := corda.SimReport{Samples: p.spec.Samples}
+	for lane := 0; lane < p.spec.Samples; lane++ {
+		if err := p.runLane(lane, &rep); err != nil {
+			return corda.SimReport{}, err
+		}
+	}
+	return rep, nil
+}
+
+// runLane drives one lane through a fresh AsyncRunner and folds it into
+// the report with the same accumulate the batch engine uses.
+func (p *ProofBackend) runLane(lane int, rep *corda.SimReport) error {
+	spec := p.spec
+	n := spec.Start.N()
+	w := corda.FromConfig(spec.Start, spec.Exclusive)
+	if spec.Multiplicity {
+		w.EnableMultiplicityDetection()
+	}
+	occ0, err := spec.Start.OccupancyMask()
+	if err != nil {
+		return err
+	}
+	sched := &laneScheduler{state: laneSeed(spec.Seed, lane), k: spec.Start.K()}
+	r := corda.NewAsyncRunner(w, spec.Algorithm, sched)
+	tr := newLaneTracker(n, occ0, spec.TrackClearing)
+	r.Observe(tr)
+
+	maxT := spec.MaxSteps
+	outcome := corda.LaneBudget
+	ticks := 0
+	for {
+		if spec.StopOnGathered && w.Gathered() && r.PendingCount() == 0 {
+			outcome = corda.LaneGathered
+			break
+		}
+		if ticks >= maxT {
+			break
+		}
+		_, serr := r.Step()
+		ticks++
+		if serr != nil {
+			if !IsCollision(serr) {
+				return serr
+			}
+			outcome = corda.LaneCollision
+			break
+		}
+	}
+	accumulate(rep, n, spec.TrackClearing, outcome, uint32(ticks), tr.moves,
+		tr.visited, tr.clear, tr.allClearEvents)
+	return nil
+}
+
+// laneScheduler adapts one lane's splittable randomness stream to the
+// AsyncScheduler interface, drawing on the contract's schedule: one draw
+// per tick to pick the robot (a pending robot moves, an idle one looks),
+// one draw per ResolveEither. AsyncRunner evaluates ResolveEither
+// eagerly on every moving decision, so the Either draw lands exactly
+// where the batch engine burns its.
+type laneScheduler struct {
+	state uint64
+	k     int
+}
+
+func (s *laneScheduler) NextAction(w *corda.World, pending []bool, step int) corda.Action {
+	i := randIndex(nextRand(&s.state), s.k)
+	if pending[i] {
+		return corda.Action{Kind: corda.ActMove, Robot: i}
+	}
+	return corda.Action{Kind: corda.ActLookCompute, Robot: i}
+}
+
+func (s *laneScheduler) ResolveEither(w *corda.World, id, step int) ring.Direction {
+	if nextRand(&s.state)&1 == 1 {
+		return ring.CCW
+	}
+	return ring.CW
+}
+
+// laneTracker observes one lane's moves and maintains the same derived
+// state the batch engine carries inline: occupancy and multiplicity
+// counts, the visited-node mask, and (optionally) the contamination
+// state with its all-clear event bookkeeping.
+type laneTracker struct {
+	n          int
+	trackClear bool
+
+	cnt     []int
+	occ     uint64
+	visited uint64
+	moves   uint32
+
+	clear          uint64
+	allClearEvents uint32
+}
+
+func newLaneTracker(n int, occ0 uint64, trackClear bool) *laneTracker {
+	t := &laneTracker{n: n, trackClear: trackClear, cnt: make([]int, n), occ: occ0, visited: occ0}
+	for u := 0; u < n; u++ {
+		if occ0&(1<<uint(u)) != 0 {
+			t.cnt[u] = 1
+		}
+	}
+	if trackClear {
+		t.clear = contInit(occ0, n)
+		if t.clear == fullMask(n) {
+			t.allClearEvents = 1
+			t.clear = clearReset(occ0, n)
+		}
+	}
+	return t
+}
+
+func (t *laneTracker) ObserveMove(ev corda.MoveEvent, w *corda.World) {
+	t.cnt[ev.From]--
+	if t.cnt[ev.From] == 0 {
+		t.occ &^= 1 << uint(ev.From)
+	}
+	if t.cnt[ev.To] == 0 {
+		t.occ |= 1 << uint(ev.To)
+	}
+	t.cnt[ev.To]++
+	t.visited |= 1 << uint(ev.To)
+	t.moves++
+	if t.trackClear {
+		t.clear = contMove(t.clear, t.occ, t.n, ev.From, ev.To)
+		if t.clear == fullMask(t.n) {
+			t.allClearEvents++
+			t.clear = clearReset(t.occ, t.n)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package mcsim
+
+import (
+	"fmt"
+
+	"ringrobots/internal/corda"
+	"ringrobots/internal/ring"
+)
+
+// Trajectory is one lane's complete realized history: the adversary
+// schedule (action sequence plus the Either resolutions, one per moving
+// Look-Compute), every executed move, and how the lane ended. Because
+// lanes are pure functions of (spec, lane), the batch engine records
+// nothing during bulk runs — a Trajectory is reconstructed on demand by
+// re-running the lane with recording enabled.
+type Trajectory struct {
+	Lane    int
+	Actions []corda.Action
+	// Either holds the adversary's direction choices in resolution
+	// order: exactly one per moving Look-Compute (AsyncRunner evaluates
+	// ResolveEither eagerly on every non-Stay decision).
+	Either  []ring.Direction
+	Moves   []corda.MoveEvent
+	Outcome corda.LaneOutcome
+	Ticks   int
+}
+
+// Script converts the trajectory's schedule into a corda.Script, the
+// fixed adversary the proof engines accept.
+func (t Trajectory) Script() *corda.Script {
+	return &corda.Script{
+		Actions: append([]corda.Action(nil), t.Actions...),
+		Either:  append([]ring.Direction(nil), t.Either...),
+	}
+}
+
+// ReplayLane re-runs one lane deterministically with recording enabled
+// and returns its trajectory.
+func (e *Engine) ReplayLane(lane int) (Trajectory, error) {
+	if lane < 0 || lane >= e.spec.Samples {
+		return Trajectory{}, fmt.Errorf("mcsim: lane %d out of range [0, %d)", lane, e.spec.Samples)
+	}
+	rec := Trajectory{Lane: lane}
+	e.runLane(e.ws[0], lane, &rec)
+	rec.Outcome = corda.LaneOutcome(e.outcome[lane])
+	rec.Ticks = int(e.ticks[lane])
+	return rec, nil
+}
+
+// VerifyLane replays the lane's recorded schedule through a fresh
+// corda.AsyncRunner and checks the resulting move sequence is identical
+// move-for-move (robot, from, to, and step index) — the differential
+// contract between the batch engine and the reference semantics. It
+// returns the trajectory so callers can report on it.
+func (e *Engine) VerifyLane(lane int) (Trajectory, error) {
+	t, err := e.ReplayLane(lane)
+	if err != nil {
+		return Trajectory{}, err
+	}
+	spec := e.spec
+	w := corda.FromConfig(spec.Start, spec.Exclusive)
+	if spec.Multiplicity {
+		w.EnableMultiplicityDetection()
+	}
+	r := corda.NewAsyncRunner(w, spec.Algorithm, t.Script())
+	var got []corda.MoveEvent
+	rec := recorder{moves: &got}
+	r.Observe(rec)
+	for step := 0; step < len(t.Actions); step++ {
+		if _, serr := r.Step(); serr != nil {
+			if IsCollision(serr) && t.Outcome == corda.LaneCollision && step == len(t.Actions)-1 {
+				break // both engines end the lane on this collision
+			}
+			return t, fmt.Errorf("mcsim: lane %d replay failed at step %d: %w", lane, step, serr)
+		}
+	}
+	if len(got) != len(t.Moves) {
+		return t, fmt.Errorf("mcsim: lane %d replay produced %d moves, batch recorded %d", lane, len(got), len(t.Moves))
+	}
+	for i := range got {
+		if got[i] != t.Moves[i] {
+			return t, fmt.Errorf("mcsim: lane %d move %d diverged: replay %+v, batch %+v", lane, i, got[i], t.Moves[i])
+		}
+	}
+	return t, nil
+}
+
+type recorder struct{ moves *[]corda.MoveEvent }
+
+func (r recorder) ObserveMove(ev corda.MoveEvent, w *corda.World) {
+	*r.moves = append(*r.moves, ev)
+}

@@ -1,0 +1,46 @@
+package mcsim
+
+import "math/bits"
+
+// Per-lane schedule randomness: a splittable seeded stream per lane.
+// laneSeed splits the root seed into statistically independent per-lane
+// states (SplitMix64's golden-gamma jump plus its finalizer, the
+// standard split construction), and nextRand advances one lane's
+// stream. Every backend honoring the corda.SimSpec determinism contract
+// must consume draws identically:
+//
+//	one draw per scheduler tick (robot selection via randIndex), and
+//	one draw per moving Look-Compute (the adversary's Either choice,
+//	consumed whether or not the decision needs it — mirroring
+//	AsyncRunner's eager ResolveEither evaluation).
+//
+// That fixed consumption schedule is what makes the batch engine and
+// the AsyncRunner-based proof backend bit-identical per lane.
+
+const splitMixGamma = 0x9E3779B97F4A7C15
+
+// mix64 is SplitMix64's output finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// laneSeed derives lane i's independent stream state from the root seed.
+func laneSeed(root uint64, lane int) uint64 {
+	return mix64(root + splitMixGamma*uint64(lane+1))
+}
+
+// nextRand advances the stream and returns the next 64-bit draw.
+func nextRand(state *uint64) uint64 {
+	*state += splitMixGamma
+	return mix64(*state)
+}
+
+// randIndex maps a draw to [0, k) by the multiply-shift reduction
+// (bias ≤ k/2^64, irrelevant here; what matters is that it is a fixed
+// deterministic function shared by every backend).
+func randIndex(r uint64, k int) int {
+	hi, _ := bits.Mul64(r, uint64(k))
+	return int(hi)
+}

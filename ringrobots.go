@@ -34,6 +34,7 @@ import (
 	"ringrobots/internal/explore"
 	"ringrobots/internal/feasibility"
 	"ringrobots/internal/gather"
+	"ringrobots/internal/mcsim"
 	"ringrobots/internal/search"
 )
 
@@ -176,4 +177,40 @@ func TransitionGraph(n, k int) (*feasibility.TransitionGraph, error) {
 // exclusive perpetual graph searching on (n, k); see package feasibility.
 func ProveSearchingImpossible(n, k int) (feasibility.Result, error) {
 	return feasibility.NewSolver(n, k).Solve()
+}
+
+// SimSpec describes a batched Monte Carlo workload: many independent
+// fair-schedule samples of one algorithm from one starting
+// configuration (see internal/corda's backend contract).
+type SimSpec = corda.SimSpec
+
+// SimReport is the deterministic aggregate of a Monte Carlo batch:
+// outcome counts, gathering-time histogram, coverage and clearing
+// statistics. Identical specs produce bit-identical reports at any
+// worker count and on either backend.
+type SimReport = corda.SimReport
+
+// SimBackend runs a SimSpec to a SimReport.
+type SimBackend = corda.Backend
+
+// MonteCarloSpec assembles the SimSpec matching a task's capability
+// model (the Monte Carlo analogue of NewWorld): exclusive lanes for the
+// perpetual tasks, contamination tracking for searching, multiplicity
+// detection and the gathered stop for gathering.
+func MonteCarloSpec(task Task, start Config, samples, maxSteps int, seed uint64) (SimSpec, error) {
+	return mcsim.SpecFor(task, start, samples, maxSteps, seed)
+}
+
+// NewBatchBackend returns the struct-of-arrays batch engine: thousands
+// of lanes stepped in a tight allocation-free loop across a worker pool
+// (workers 0 means GOMAXPROCS).
+func NewBatchBackend(spec SimSpec, workers int) (*mcsim.Engine, error) {
+	return mcsim.New(spec, workers)
+}
+
+// NewProofBackend returns the reference backend: the same workload
+// driven one world at a time through AsyncRunner, bit-identical to the
+// batch engine lane for lane.
+func NewProofBackend(spec SimSpec) (*mcsim.ProofBackend, error) {
+	return mcsim.NewProof(spec)
 }
