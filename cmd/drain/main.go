@@ -43,19 +43,19 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func parseTiers(s string) []int {
+func parseTiers(s string) ([]int, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fatalf("bad -tiers %q: %v", s, err)
+			return nil, fmt.Errorf("-tiers %q: %q is not an integer", s, part)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 func printStats(prefix string, st feasibility.CheckpointStats) {
@@ -77,8 +77,40 @@ func main() {
 	cycleCap := flag.Int("cycle-cap", 0, "max starvation-loop length (0 = solver default)")
 	crashAfter := flag.Int64("crash-after-branches", 0, "TESTING: SIGKILL this process after that many processed branches")
 	flag.Parse()
+
+	// Fail fast with every flag problem at once, not first-error-wins.
+	var errs []error
 	if *journalPath == "" {
-		fatalf("-journal is required")
+		errs = append(errs, errors.New("-journal is required"))
+	}
+	tierList, terr := parseTiers(*tiers)
+	if terr != nil {
+		errs = append(errs, terr)
+	}
+	inst := feasibility.Instance{N: *n, K: *k, MaxCycleLen: *cycleCap, PendingTiers: tierList}
+	if err := inst.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if *budget < 0 {
+		errs = append(errs, fmt.Errorf("-budget %d is negative", *budget))
+	}
+	if *workers < 1 {
+		errs = append(errs, fmt.Errorf("-workers %d below minimum 1", *workers))
+	}
+	if *every < 0 {
+		errs = append(errs, fmt.Errorf("-checkpoint-every %d is negative", *every))
+	}
+	if *compactAbove < 0 {
+		errs = append(errs, fmt.Errorf("-compact-above %d is negative", *compactAbove))
+	}
+	if *crashAfter < 0 {
+		errs = append(errs, fmt.Errorf("-crash-after-branches %d is negative", *crashAfter))
+	}
+	if *crashAfter > 0 && *every <= 0 {
+		errs = append(errs, errors.New("-crash-after-branches requires -checkpoint-every > 0 (a crash without periodic checkpoints loses the whole drain)"))
+	}
+	if len(errs) > 0 {
+		fatalf("invalid flags:\n%v", errors.Join(errs...))
 	}
 
 	policy := journal.SyncNone
@@ -99,8 +131,8 @@ func main() {
 	if *cycleCap > 0 {
 		s.MaxCycleLen = *cycleCap
 	}
-	if t := parseTiers(*tiers); t != nil {
-		s.PendingTiers = t
+	if tierList != nil {
+		s.PendingTiers = tierList
 	}
 
 	// A finished drain is idempotent: the verdict record ends the

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ringrobots/internal/service"
+)
+
+// Load-generator mode (-target): replay a deterministic sampled (k, n)
+// query mix against a running verdict service (cmd/serve) and report
+// per-status counts and end-to-end latency percentiles, plus the
+// server's own /metricz view. The mix follows the paper's band — rings
+// 3..9 with a uniformly random robot count — with a ~10% tail of wide
+// rings (n 12..16, k=3). The wide tail carries a small explicit budget:
+// those trees cost tens of millions of expansion units (minutes of
+// CPU), so an unbudgeted query would occupy a worker for the whole run;
+// budgeted, each suspends to a journaled checkpoint in well under a
+// second and exercises the 202/resume path instead. The same seed
+// produces the same request sequence, so runs are comparable.
+
+type loadQuery struct {
+	n, k   int
+	budget int // 0 = server default
+}
+
+// wideRingBudget suspends a wide-ring solve after roughly a quarter
+// second of expansion work.
+const wideRingBudget = 100_000
+
+// sampleQueryMix draws the deterministic request list for a seed.
+func sampleQueryMix(seed int64, requests int) []loadQuery {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]loadQuery, requests)
+	for i := range qs {
+		if rng.Intn(10) == 0 {
+			qs[i] = loadQuery{n: 12 + rng.Intn(5), k: 3, budget: wideRingBudget}
+		} else {
+			n := 3 + rng.Intn(7)
+			qs[i] = loadQuery{n: n, k: 1 + rng.Intn(n-1)}
+		}
+	}
+	return qs
+}
+
+func runLoadgen(target string, seed int64, requests, concurrency, budget int) error {
+	qs := sampleQueryMix(seed, requests)
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	type outcome struct {
+		status  string
+		code    int
+		latency time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, requests)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				url := fmt.Sprintf("%s/solve?n=%d&k=%d", target, qs[i].n, qs[i].k)
+				if b := qs[i].budget; budget > 0 {
+					url += fmt.Sprintf("&budget=%d", budget) // explicit flag overrides the mix
+				} else if b > 0 {
+					url += fmt.Sprintf("&budget=%d", b)
+				}
+				start := time.Now()
+				resp, err := client.Get(url)
+				lat := time.Since(start)
+				if err != nil {
+					outcomes[i] = outcome{status: "transport-error", latency: lat, err: err}
+					continue
+				}
+				var body service.SolveBody
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if decErr != nil {
+					outcomes[i] = outcome{status: "bad-body", code: resp.StatusCode, latency: lat, err: decErr}
+					continue
+				}
+				outcomes[i] = outcome{status: body.Status, code: resp.StatusCode, latency: lat}
+			}
+		}()
+	}
+	for i := range qs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	counts := map[string]int{}
+	lats := make([]time.Duration, 0, requests)
+	var worstErr error
+	for _, o := range outcomes {
+		counts[o.status]++
+		lats = append(lats, o.latency)
+		if o.err != nil && worstErr == nil {
+			worstErr = o.err
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	fmt.Printf("target=%s requests=%d concurrency=%d seed=%d\n", target, requests, concurrency, seed)
+	fmt.Printf("done in %.3gs (%.1f req/sec)\n", elapsed.Seconds(), float64(requests)/elapsed.Seconds())
+	statuses := make([]string, 0, len(counts))
+	for s := range counts {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	for _, s := range statuses {
+		fmt.Printf("  %-16s %d\n", s, counts[s])
+	}
+	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+
+	// The server's own accounting closes the loop: how many of those
+	// requests one solve answered, and what was suspended or shed.
+	resp, err := client.Get(target + "/metricz")
+	if err != nil {
+		return fmt.Errorf("fetch /metricz: %w", err)
+	}
+	defer resp.Body.Close()
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decode /metricz: %w", err)
+	}
+	fmt.Printf("server: solves=%d cache_hits=%d deduped=%d suspended=%d shed=%d rejected=%d resumed=%d\n",
+		snap.SolvesStarted, snap.CacheHits, snap.Deduped, snap.Suspended,
+		snap.Shed, snap.Rejected, snap.ResumedDrains)
+	fmt.Printf("server latency: p50=%.3gms p90=%.3gms p99=%.3gms over %d solves\n",
+		snap.SolveLatencyMsP50, snap.SolveLatencyMsP90, snap.SolveLatencyMsP99, snap.SolveSamples)
+	if worstErr != nil {
+		return fmt.Errorf("%d requests failed in transport (first: %w)",
+			counts["transport-error"]+counts["bad-body"], worstErr)
+	}
+	return nil
+}

@@ -9,6 +9,13 @@
 //	mcsim -task searching -n 12 -k 6 -samples 10000 -steps 20000
 //	mcsim -task gathering -n 12 -k 5 -samples 1000 -backend both   # differential
 //	mcsim -task gathering -n 12 -k 5 -samples 1000 -verify 16      # lane replay
+//	mcsim -target http://localhost:8080 -requests 200 -concurrency 8
+//
+// With -target the simulator becomes a load generator for the verdict
+// service (cmd/serve): it replays a seeded (k, n) query mix against the
+// service and reports per-status counts and latency percentiles (see
+// loadgen.go). Simulation flags (-task, -backend, -verify, ...) do not
+// apply in that mode.
 //
 // The starting configuration is the same seeded random rigid one
 // cmd/ringsim would draw, so a batch run and a trace run are directly
@@ -17,6 +24,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -41,9 +49,16 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
 		backend  = flag.String("backend", "batch", "backend: batch | proof | both (both cross-checks bit-identity)")
 		verify   = flag.Int("verify", 0, "replay this many lanes move-for-move through the reference engine")
+
+		target      = flag.String("target", "", "verdict-service base URL: run as a load generator instead of a simulator")
+		requests    = flag.Int("requests", 200, "load generator: total /solve requests to fire")
+		concurrency = flag.Int("concurrency", 8, "load generator: concurrent client connections")
+		budget      = flag.Int("budget", 0, "load generator: per-request expansion budget passed to the service (0 = server default)")
 	)
 	flag.Parse()
 
+	// Fail fast with every flag problem at once, not first-error-wins.
+	var errs []error
 	var task ringrobots.Task
 	switch *taskName {
 	case "exploration":
@@ -53,7 +68,57 @@ func main() {
 	case "gathering":
 		task = ringrobots.Gathering
 	default:
-		log.Fatalf("unknown task %q", *taskName)
+		errs = append(errs, fmt.Errorf("unknown -task %q (want exploration | searching | gathering)", *taskName))
+	}
+	switch *backend {
+	case "batch", "proof", "both":
+	default:
+		errs = append(errs, fmt.Errorf("unknown -backend %q (want batch | proof | both)", *backend))
+	}
+	if *n < 3 || *n > 64 {
+		errs = append(errs, fmt.Errorf("-n %d out of range [3, 64]", *n))
+	} else if *k < 1 || *k >= *n {
+		errs = append(errs, fmt.Errorf("-k %d out of range [1, n-1] for n=%d", *k, *n))
+	}
+	if *samples < 1 {
+		errs = append(errs, fmt.Errorf("-samples %d below minimum 1", *samples))
+	}
+	if *steps < 0 {
+		errs = append(errs, fmt.Errorf("-steps %d is negative", *steps))
+	}
+	if *workers < 0 {
+		errs = append(errs, fmt.Errorf("-workers %d is negative", *workers))
+	}
+	if *verify < 0 {
+		errs = append(errs, fmt.Errorf("-verify %d is negative", *verify))
+	}
+	if *target != "" {
+		// Load-generator mode: the simulation-only flags conflict.
+		if *backend != "batch" {
+			errs = append(errs, fmt.Errorf("-target conflicts with -backend %q (no simulation runs in load-generator mode)", *backend))
+		}
+		if *verify > 0 {
+			errs = append(errs, fmt.Errorf("-target conflicts with -verify %d (no lanes to replay in load-generator mode)", *verify))
+		}
+		if *requests < 1 {
+			errs = append(errs, fmt.Errorf("-requests %d below minimum 1", *requests))
+		}
+		if *concurrency < 1 {
+			errs = append(errs, fmt.Errorf("-concurrency %d below minimum 1", *concurrency))
+		}
+		if *budget < 0 {
+			errs = append(errs, fmt.Errorf("-budget %d is negative", *budget))
+		}
+	}
+	if len(errs) > 0 {
+		log.Fatalf("invalid flags:\n%v", errors.Join(errs...))
+	}
+
+	if *target != "" {
+		if err := runLoadgen(*target, *seed, *requests, *concurrency, *budget); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if *steps == 0 {
 		if task == ringrobots.Gathering {

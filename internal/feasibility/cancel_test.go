@@ -1,0 +1,100 @@
+package feasibility
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCancelAtRandomizedPoints sweeps context cancellation across the
+// search: the hook cancels after a randomized number of branches, and
+// each trial asserts the suspension contract end to end — the solve
+// returns promptly (within one branch of the cancel point, not after
+// finishing the tree), the checkpoint round-trips bit-stably through
+// encode/decode, and resuming it reaches the uninterrupted verdict.
+// This is the mid-solve counterpart of TestContextCancelSuspends, which
+// pins one cancel point; here the point moves so early (frontier nearly
+// empty), middle, and late (refutation cascade in flight) suspensions
+// all get crossed.
+func TestCancelAtRandomizedPoints(t *testing.T) {
+	const n, k = 7, 3
+	straight := solveWorkers(t, n, k, 1)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 6; trial++ {
+		cancelAt := int64(1 + rng.Intn(25))
+		ctx, cancel := context.WithCancel(context.Background())
+		s := NewSolver(n, k)
+		s.Workers = 1
+		s.BranchHook = func(done int64) {
+			if done == cancelAt {
+				cancel()
+				// As in TestContextCancelSuspends: the context watcher
+				// lands the abort asynchronously, so hold this branch
+				// until it has — the suspension point is then exact.
+				<-ctx.Done()
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		res, cp, err := s.SolveContext(ctx)
+		cancel()
+		if err == nil {
+			// The tree drained before the cancel landed (possible only
+			// when cancelAt is at the very end): a full verdict, which
+			// must match the uninterrupted run.
+			if cp != nil {
+				t.Fatalf("trial %d: verdict run returned a checkpoint", trial)
+			}
+			checkSameOutcome(t, n, k, "late cancel", res, straight)
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("trial %d (cancel at %d): returned %v, want context.Canceled", trial, cancelAt, err)
+		}
+		if cp == nil {
+			t.Fatalf("trial %d (cancel at %d): cancelled solve returned no checkpoint", trial, cancelAt)
+		}
+		// Promptness: the solver must stop within one branch of the
+		// cancel, not run the remaining tree before noticing.
+		if res.TablesExplored > int(cancelAt)+1 {
+			t.Errorf("trial %d: cancel at branch %d but %d tables explored before returning",
+				trial, cancelAt, res.TablesExplored)
+		}
+		// The returned checkpoint round-trips bit-stably.
+		raw, merr := cp.MarshalBinary()
+		if merr != nil {
+			t.Fatalf("trial %d: marshal checkpoint: %v", trial, merr)
+		}
+		restored, uerr := UnmarshalCheckpoint(raw)
+		if uerr != nil {
+			t.Fatalf("trial %d: unmarshal checkpoint: %v", trial, uerr)
+		}
+		raw2, merr := restored.MarshalBinary()
+		if merr != nil {
+			t.Fatalf("trial %d: re-marshal checkpoint: %v", trial, merr)
+		}
+		if !bytes.Equal(raw, raw2) {
+			t.Fatalf("trial %d: checkpoint encode/decode/encode is not bit-stable", trial)
+		}
+		// Resuming the decoded checkpoint completes to the uninterrupted
+		// verdict. TablesExplored is deliberately not compared:
+		// cancellation may interrupt a refutation-closure cascade
+		// partway (see TestContextCancelSuspends), unlike budget
+		// suspensions which stop at clean branch boundaries.
+		s2 := NewSolver(n, k)
+		s2.Workers = 1
+		res2, cp2, err2 := s2.Resume(context.Background(), restored)
+		if err2 != nil || cp2 != nil {
+			t.Fatalf("trial %d: resume after cancel: err=%v cp=%v", trial, err2, cp2)
+		}
+		if res2.Impossible != straight.Impossible || res2.Tier != straight.Tier {
+			t.Errorf("trial %d (cancel at %d): resumed verdict/tier (%v, %d) != uninterrupted (%v, %d)",
+				trial, cancelAt, res2.Impossible, res2.Tier, straight.Impossible, straight.Tier)
+		}
+		if res2.SurvivorTable != nil && !survivorHolds(NewSolver(n, k), res2.Tier, res2.SurvivorTable) {
+			t.Errorf("trial %d: resumed survivor does not survive re-analysis", trial)
+		}
+	}
+}

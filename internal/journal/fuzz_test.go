@@ -25,6 +25,21 @@ func FuzzScan(f *testing.F) {
 	flip := AppendRecord(nil, []byte("flip-me"))
 	flip[headerSize+2] ^= 1
 	f.Add(flip)
+	// Verdict-store shaped payloads (internal/service): a one-byte
+	// record type, a 32-byte instance key, then a typed body. Built
+	// inline (the journal is payload-agnostic) so the fuzzer explores
+	// the shapes the store actually journals.
+	key := bytes.Repeat([]byte{0xa5}, 32)
+	verdictRec := append(append([]byte{'V'}, key...), 0x01, 0x02, 0x09, 0x7b)
+	f.Add(AppendRecord(nil, verdictRec))
+	ckptRec := append(append([]byte{'C'}, key...), []byte("checkpoint-body")...)
+	f.Add(AppendRecord(AppendRecord(nil, verdictRec), ckptRec))
+	// Torn tail mid-way through a checkpoint record.
+	tornStore := AppendRecord(AppendRecord(nil, verdictRec), ckptRec)
+	f.Add(tornStore[:len(tornStore)-7])
+	// A store record whose key is truncated by a bit flip in the length.
+	shortKey := AppendRecord(nil, append([]byte{'V'}, key[:13]...))
+	f.Add(shortKey)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, valid := Scan(data)

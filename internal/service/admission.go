@@ -1,0 +1,133 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"ringrobots/internal/feasibility"
+)
+
+// Single-flight and admission control. A flight is one in-progress (or
+// queued) solve; every concurrent request for the same instance key
+// attaches to the one flight instead of spawning its own solve, so a
+// million identical in-flight queries cost one solve. Admission is a
+// bounded cost-ordered queue: workers pop cheapest-first, and when the
+// queue is full a cheaper arrival evicts the most expensive queued
+// flight (load-shedding that favors the requests most likely to clear
+// the backlog) — the evicted flight's waiters get an overload response
+// and lose nothing, since any progress their solve had previously
+// journaled stays in the store.
+
+// flight is one solve shared by all requests for its instance key.
+type flight struct {
+	key     string
+	inst    feasibility.Instance
+	budget  int
+	timeout time.Duration
+	cost    int64
+
+	done chan struct{} // closed once resp is set
+	resp Response
+}
+
+func (f *flight) deliver(r Response) {
+	f.resp = r
+	close(f.done)
+}
+
+// solveCost ranks instances by expected work for admission ordering.
+// It only needs to be monotone-ish in instance size: the state space
+// grows like n·2^n and branching with k, so k·2^n orders the paper
+// grid correctly and keeps wide rings at the expensive end.
+func solveCost(inst feasibility.Instance) int64 {
+	inst = inst.Normalized()
+	n := inst.N
+	if n > 48 {
+		n = 48
+	}
+	return int64(inst.K+1) << uint(n)
+}
+
+// admitQueue is the bounded cost-ordered admission queue. items stays
+// sorted by ascending cost (ties keep arrival order): pop takes the
+// cheapest, shedding evicts the most expensive.
+type admitQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*flight
+	cap    int
+	closed bool
+}
+
+func newAdmitQueue(cap int) *admitQueue {
+	q := &admitQueue{cap: cap}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a flight. It returns the flight evicted to make room (if
+// any), and ok=false when the flight was refused (queue full of
+// cheaper-or-equal work, or the queue is closed).
+func (q *admitQueue) push(f *flight) (evicted *flight, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, false
+	}
+	if len(q.items) >= q.cap {
+		last := q.items[len(q.items)-1]
+		if f.cost >= last.cost {
+			return nil, false
+		}
+		evicted = last
+		q.items = q.items[:len(q.items)-1]
+	}
+	// Insert keeping ascending cost order; equal costs go after
+	// existing entries (FIFO among peers).
+	i := len(q.items)
+	for i > 0 && q.items[i-1].cost > f.cost {
+		i--
+	}
+	q.items = append(q.items, nil)
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = f
+	q.cond.Signal()
+	return evicted, true
+}
+
+// pop blocks for the cheapest queued flight; nil once the queue is
+// closed and empty.
+func (q *admitQueue) pop() *flight {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil
+	}
+	f := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return f
+}
+
+func (q *admitQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close stops admission and wakes blocked workers; it returns the
+// flights still queued (never started) so the caller can respond to
+// their waiters.
+func (q *admitQueue) close() []*flight {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	rest := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	return rest
+}

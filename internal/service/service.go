@@ -1,0 +1,422 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"ringrobots/internal/feasibility"
+	"ringrobots/internal/journal"
+)
+
+// Status classifies a Solve outcome for the caller (the HTTP layer
+// maps these onto status codes).
+type Status int
+
+const (
+	// StatusVerdict: a final verdict is attached (freshly solved or
+	// served from the store).
+	StatusVerdict Status = iota
+	// StatusSuspended: the solve ran out of budget or deadline (or the
+	// service began draining mid-solve); its progress is journaled and
+	// a retry of the same request resumes the drain where it stopped.
+	StatusSuspended
+	// StatusOverloaded: refused at admission (queue full of cheaper
+	// work, or evicted by a cheaper arrival). Retry after RetryAfter.
+	StatusOverloaded
+	// StatusDraining: the service is shutting down and accepted no new
+	// work. Retry against the restarted service.
+	StatusDraining
+	// StatusInvalid: the request itself is malformed (Err lists every
+	// problem).
+	StatusInvalid
+	// StatusError: an internal failure (journal I/O, client gone).
+	StatusError
+)
+
+func (st Status) String() string {
+	switch st {
+	case StatusVerdict:
+		return "verdict"
+	case StatusSuspended:
+		return "suspended"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusDraining:
+		return "draining"
+	case StatusInvalid:
+		return "invalid"
+	case StatusError:
+		return "error"
+	}
+	return fmt.Sprintf("Status(%d)", int(st))
+}
+
+// Request is one verdict query.
+type Request struct {
+	Instance feasibility.Instance
+	// Budget is this run's expansion allowance (0 = Config.DefaultBudget,
+	// capped at Config.MaxBudget). Exhaustion suspends, never discards.
+	Budget int
+	// Timeout bounds this run's wall time (0 = none); expiry suspends
+	// the solve to a checkpoint exactly like budget exhaustion.
+	Timeout time.Duration
+}
+
+// Response is the outcome delivered to every requester of a flight.
+type Response struct {
+	Status  Status
+	Verdict *Verdict
+	// Cached: served from the verdict store without any solve.
+	Cached bool
+	// Resumed: this run continued a journaled checkpoint rather than
+	// starting from the empty table.
+	Resumed    bool
+	RetryAfter time.Duration
+	Err        error
+}
+
+// Service is the verdict service core, independent of HTTP (handlers.go
+// adds that). One Service owns one Store and one worker pool.
+type Service struct {
+	cfg     Config
+	log     *slog.Logger
+	store   *Store
+	metrics *Metrics
+	queue   *admitQueue
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	draining bool
+
+	solveCtx     context.Context
+	cancelSolves context.CancelFunc
+	wg           sync.WaitGroup
+}
+
+// New validates the config, opens (and replays) the verdict store, and
+// starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	policy := journal.SyncNone
+	if cfg.Sync {
+		policy = journal.SyncAlways
+	}
+	store, err := OpenStore(cfg.StorePath, policy)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:          cfg,
+		log:          logger,
+		store:        store,
+		metrics:      newMetrics(),
+		queue:        newAdmitQueue(cfg.QueueCap),
+		flights:      make(map[string]*flight),
+		solveCtx:     ctx,
+		cancelSolves: cancel,
+	}
+	verdicts, checkpoints, records, bytes := store.Counts()
+	logger.Info("store opened", "path", cfg.StorePath,
+		"verdicts", verdicts, "checkpoints", checkpoints, "records", records, "bytes", bytes)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				f := s.queue.pop()
+				if f == nil {
+					return
+				}
+				s.runFlight(f)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Metrics exposes the counter set (handlers and tests).
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// MetricsSnapshot captures the full /metricz view.
+func (s *Service) MetricsSnapshot() Snapshot {
+	return s.metrics.snapshot(s.queue.depth(), s.store)
+}
+
+// retryAfter estimates how long a refused or suspended requester
+// should back off: the queue's expected drain time under the current
+// mean solve latency, floored at one second.
+func (s *Service) retryAfter() time.Duration {
+	mean := s.metrics.meanLatency()
+	if mean <= 0 {
+		mean = retryAfterFloor
+	}
+	wait := time.Duration(s.queue.depth()+1) * mean / time.Duration(s.cfg.Workers)
+	if wait < retryAfterFloor {
+		wait = retryAfterFloor
+	}
+	return wait
+}
+
+// Solve answers one verdict query, blocking until the verdict (or a
+// degraded outcome) is available. Identical concurrent requests share
+// one solve; ctx cancels this caller's wait, never the shared solve.
+func (s *Service) Solve(ctx context.Context, req Request) Response {
+	inst := req.Instance.Normalized()
+	var errs []error
+	if err := inst.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if req.Budget < 0 {
+		errs = append(errs, fmt.Errorf("budget %d is negative", req.Budget))
+	}
+	if req.Timeout < 0 {
+		errs = append(errs, fmt.Errorf("timeout %v is negative", req.Timeout))
+	}
+	if len(errs) > 0 {
+		return Response{Status: StatusInvalid, Err: errors.Join(errs...)}
+	}
+	budget := req.Budget
+	if budget == 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	if budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	key := inst.Key()
+	if v, ok := s.store.Verdict(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return Response{Status: StatusVerdict, Verdict: &v, Cached: true}
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.drained.Add(1)
+		return Response{Status: StatusDraining, RetryAfter: retryAfterFloor, Err: errors.New("service: draining")}
+	}
+	f, inFlight := s.flights[key]
+	if !inFlight {
+		f = &flight{
+			key:     key,
+			inst:    inst,
+			budget:  budget,
+			timeout: req.Timeout,
+			cost:    solveCost(inst),
+			done:    make(chan struct{}),
+		}
+		evicted, ok := s.queue.push(f)
+		if !ok {
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				s.metrics.drained.Add(1)
+				return Response{Status: StatusDraining, RetryAfter: retryAfterFloor, Err: errors.New("service: draining")}
+			}
+			s.metrics.rejected.Add(1)
+			return Response{Status: StatusOverloaded, RetryAfter: s.retryAfter(),
+				Err: fmt.Errorf("service: admission queue full (%d)", s.cfg.QueueCap)}
+		}
+		s.flights[key] = f
+		if evicted != nil {
+			delete(s.flights, evicted.key)
+		}
+		s.mu.Unlock()
+		if evicted != nil {
+			s.metrics.shed.Add(1)
+			evicted.deliver(Response{Status: StatusOverloaded, RetryAfter: s.retryAfter(),
+				Err: errors.New("service: shed by cheaper work under overload")})
+		}
+	} else {
+		s.mu.Unlock()
+		s.metrics.deduped.Add(1)
+	}
+
+	select {
+	case <-f.done:
+		return f.resp
+	case <-ctx.Done():
+		// Only this caller gives up; the flight runs on for its other
+		// waiters and the store.
+		return Response{Status: StatusError, Err: ctx.Err()}
+	}
+}
+
+// runFlight executes one solve on a pool worker and delivers the
+// outcome to every waiter.
+func (s *Service) runFlight(f *flight) {
+	start := time.Now()
+	s.metrics.solvesStarted.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	ctx := s.solveCtx
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	sol := f.inst.Solver()
+	sol.Workers = s.cfg.SolveWorkers
+	sol.MaxExpansions = f.budget
+	sol.BranchHook = s.cfg.BranchHook
+	if s.cfg.CheckpointEvery > 0 {
+		sol.CheckpointEvery = s.cfg.CheckpointEvery
+		sol.OnCheckpoint = func(cp *feasibility.Checkpoint) error {
+			raw, err := cp.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			if err := s.store.PutCheckpoint(f.key, raw); err != nil {
+				return err
+			}
+			s.metrics.checkpoints.Add(1)
+			s.compact()
+			return nil
+		}
+	}
+
+	var res feasibility.Result
+	var cp *feasibility.Checkpoint
+	var err error
+	resumed := false
+	if raw, ok := s.store.Checkpoint(f.key); ok {
+		if ck, derr := feasibility.UnmarshalCheckpoint(raw); derr != nil {
+			s.log.Warn("stored checkpoint undecodable; starting fresh", "inst", f.inst.String(), "err", derr)
+		} else if !ck.Matches(f.inst) {
+			s.log.Warn("stored checkpoint does not match instance; starting fresh", "inst", f.inst.String())
+		} else {
+			resumed = true
+			s.metrics.resumedDrains.Add(1)
+			res, cp, err = sol.Resume(ctx, ck)
+		}
+	}
+	if !resumed {
+		res, cp, err = sol.SolveContext(ctx)
+	}
+	elapsed := time.Since(start)
+	s.metrics.recordLatency(elapsed)
+
+	switch {
+	case err == nil:
+		v := Verdict{
+			Impossible:     res.Impossible,
+			Tier:           res.Tier,
+			TablesExplored: res.TablesExplored,
+			ExpansionUnits: res.ExpansionUnits,
+			Survivor:       res.SurvivorTable,
+		}
+		if perr := s.store.PutVerdict(f.key, v); perr != nil {
+			// The answer is right but not durable: fail the request
+			// rather than serve a verdict a crash could silently retract.
+			s.log.Error("journaling verdict failed", "inst", f.inst.String(), "err", perr)
+			s.finishFlight(f, Response{Status: StatusError, Err: fmt.Errorf("service: journaling verdict: %w", perr)})
+			return
+		}
+		s.compact()
+		s.metrics.solvesCompleted.Add(1)
+		s.log.Info("solve finished", "inst", f.inst.String(), "impossible", res.Impossible,
+			"tier", res.Tier, "tables", res.TablesExplored, "units", res.ExpansionUnits,
+			"resumed", resumed, "ms", ms(elapsed))
+		s.finishFlight(f, Response{Status: StatusVerdict, Verdict: &v, Resumed: resumed})
+	case cp != nil:
+		// Suspended with a live frontier: journal it so a retry — or a
+		// restart after SIGTERM — resumes instead of restarting.
+		if errors.Is(err, feasibility.ErrBudget) {
+			s.metrics.budgetAborts.Add(1)
+		}
+		s.metrics.suspended.Add(1)
+		raw, merr := cp.MarshalBinary()
+		if merr == nil {
+			merr = s.store.PutCheckpoint(f.key, raw)
+		}
+		if merr != nil {
+			s.log.Error("journaling suspension checkpoint failed", "inst", f.inst.String(), "err", merr)
+			s.finishFlight(f, Response{Status: StatusError, Err: fmt.Errorf("service: journaling checkpoint: %w", merr)})
+			return
+		}
+		s.metrics.checkpoints.Add(1)
+		s.compact()
+		s.log.Info("solve suspended", "inst", f.inst.String(), "resumed", resumed,
+			"units", res.ExpansionUnits, "ms", ms(elapsed), "cause", err)
+		s.finishFlight(f, Response{Status: StatusSuspended, Resumed: resumed, RetryAfter: s.retryAfter(), Err: err})
+	default:
+		s.log.Error("solve failed", "inst", f.inst.String(), "err", err)
+		s.finishFlight(f, Response{Status: StatusError, Err: err})
+	}
+}
+
+// finishFlight detaches the flight (so later requests consult the
+// store or start a resume) and then wakes its waiters.
+func (s *Service) finishFlight(f *flight, r Response) {
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	s.mu.Unlock()
+	f.deliver(r)
+}
+
+// compact applies the journal-growth bound, logging (not failing) on
+// error: compaction is an optimization, the append-only log is already
+// correct.
+func (s *Service) compact() {
+	if err := s.store.CompactIfAbove(s.cfg.CompactAbove); err != nil {
+		s.log.Error("store compaction failed", "err", err)
+	}
+}
+
+// Shutdown drains the service: new requests are refused, queued
+// flights are answered with StatusDraining, and in-flight solves are
+// suspended through the checkpoint path — their waiters get
+// StatusSuspended and their progress is journaled, so a restart
+// resumes every one of them. Blocks until the drain completes or ctx
+// expires (then the error reports what was still running; journaled
+// periodic checkpoints still bound the loss).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("service: already draining")
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	// Refuse queued-but-unstarted flights (they hold no partial work).
+	for _, f := range s.queue.close() {
+		s.mu.Lock()
+		delete(s.flights, f.key)
+		s.mu.Unlock()
+		s.metrics.drained.Add(1)
+		f.deliver(Response{Status: StatusDraining, RetryAfter: retryAfterFloor,
+			Err: errors.New("service: draining")})
+	}
+	// Suspend in-flight solves; each journals its checkpoint and
+	// answers its waiters before the worker exits.
+	s.cancelSolves()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain deadline exceeded with %d solves in flight: %w",
+			s.metrics.inflight.Load(), ctx.Err())
+	}
+	if err := s.store.Close(); err != nil {
+		return fmt.Errorf("service: closing store: %w", err)
+	}
+	s.log.Info("drained cleanly")
+	return nil
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"ringrobots/internal/feasibility"
+	"ringrobots/internal/journal"
+)
+
+// solveDirect runs the solver for an instance with package defaults —
+// the differential oracle every store and service test compares
+// against.
+func solveDirect(t *testing.T, inst feasibility.Instance) feasibility.Result {
+	t.Helper()
+	s := inst.Solver()
+	s.Workers = 1
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatalf("direct solve %s: %v", inst, err)
+	}
+	return res
+}
+
+func verdictOf(res feasibility.Result) Verdict {
+	return Verdict{
+		Impossible:     res.Impossible,
+		Tier:           res.Tier,
+		TablesExplored: res.TablesExplored,
+		ExpansionUnits: res.ExpansionUnits,
+		Survivor:       res.SurvivorTable,
+	}
+}
+
+func TestVerdictEncodeDecodeRoundTrip(t *testing.T) {
+	// A survivor-bearing verdict from a crippled-adversary solve and an
+	// impossibility verdict exercise both encoding branches.
+	surv := feasibility.Instance{N: 5, K: 3, MaxCycleLen: 2, PendingTiers: []int{0}}
+	imp := feasibility.Instance{N: 7, K: 3}
+	for i, inst := range []feasibility.Instance{surv, imp} {
+		want := verdictOf(solveDirect(t, inst))
+		if wantSurvivor := i == 0; (want.Survivor != nil) != wantSurvivor {
+			t.Fatalf("%s: survivor presence %v, case expects %v", inst, want.Survivor != nil, wantSurvivor)
+		}
+		enc := EncodeVerdict(want)
+		if !bytes.Equal(enc, EncodeVerdict(want)) {
+			t.Fatalf("%s: encoding is not deterministic", inst)
+		}
+		got, err := DecodeVerdict(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", inst, err)
+		}
+		if !bytes.Equal(EncodeVerdict(got), enc) {
+			t.Fatalf("%s: round trip changed the verdict", inst)
+		}
+		if got.Impossible != want.Impossible || got.Tier != want.Tier ||
+			got.TablesExplored != want.TablesExplored || got.ExpansionUnits != want.ExpansionUnits {
+			t.Fatalf("%s: round trip: got %+v want %+v", inst, got, want)
+		}
+		if len(got.Survivor) != len(want.Survivor) {
+			t.Fatalf("%s: survivor size %d != %d", inst, len(got.Survivor), len(want.Survivor))
+		}
+		for obs, d := range want.Survivor {
+			if got.Survivor[obs] != d {
+				t.Fatalf("%s: survivor entry mismatch at %v", inst, obs)
+			}
+		}
+		// Corruption must be detected, not absorbed.
+		if _, err := DecodeVerdict(enc[:len(enc)-1]); err == nil {
+			t.Errorf("%s: truncated verdict decoded without error", inst)
+		}
+		if _, err := DecodeVerdict(append(append([]byte(nil), enc...), 7)); err == nil {
+			t.Errorf("%s: trailing garbage decoded without error", inst)
+		}
+	}
+}
+
+func TestStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.log")
+	instA := feasibility.Instance{N: 7, K: 3}.Normalized()
+	instB := feasibility.Instance{N: 7, K: 4}.Normalized()
+	vA := verdictOf(solveDirect(t, instA))
+
+	st, err := OpenStore(path, journal.SyncAlways)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := st.PutVerdict(instA.Key(), vA); err != nil {
+		t.Fatalf("put verdict: %v", err)
+	}
+	// A suspended drain's checkpoint for instB.
+	sB := instB.Solver()
+	sB.Workers = 1
+	sB.MaxExpansions = 150
+	_, cp, err := sB.SolveContext(context.Background())
+	if cp == nil {
+		t.Fatalf("expected a budget suspension, got err=%v", err)
+	}
+	raw, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal checkpoint: %v", err)
+	}
+	if err := st.PutCheckpoint(instB.Key(), raw); err != nil {
+		t.Fatalf("put checkpoint: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := OpenStore(path, journal.SyncAlways)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	got, ok := st2.Verdict(instA.Key())
+	if !ok || !bytes.Equal(EncodeVerdict(got), EncodeVerdict(vA)) {
+		t.Fatalf("verdict for %s lost or changed across reopen", instA)
+	}
+	gotCp, ok := st2.Checkpoint(instB.Key())
+	if !ok || !bytes.Equal(gotCp, raw) {
+		t.Fatalf("checkpoint for %s lost or changed across reopen", instB)
+	}
+	if _, ok := st2.Checkpoint(instA.Key()); ok {
+		t.Fatalf("instance with a verdict still reports a checkpoint")
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.log")
+	st, err := OpenStore(path, journal.SyncNone)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	inst := feasibility.Instance{N: 7, K: 3}.Normalized()
+	v := verdictOf(solveDirect(t, inst))
+	if err := st.PutVerdict(inst.Key(), v); err != nil {
+		t.Fatalf("put verdict: %v", err)
+	}
+	// Pile up superseded checkpoints for one unfinished instance.
+	instB := feasibility.Instance{N: 8, K: 5}.Normalized()
+	sB := instB.Solver()
+	sB.Workers = 1
+	sB.MaxExpansions = 200
+	_, cp, _ := sB.SolveContext(context.Background())
+	if cp == nil {
+		t.Fatal("expected a budget suspension")
+	}
+	raw, _ := cp.MarshalBinary()
+	for i := 0; i < 20; i++ {
+		if err := st.PutCheckpoint(instB.Key(), raw); err != nil {
+			t.Fatalf("put checkpoint %d: %v", i, err)
+		}
+	}
+	_, _, records, _ := st.Counts()
+	if records != 21 {
+		t.Fatalf("journal holds %d records before compaction, want 21", records)
+	}
+	if err := st.CompactIfAbove(5); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	_, _, records, _ = st.Counts()
+	if records != 2 {
+		t.Fatalf("journal holds %d records after compaction, want 2 (verdict + latest checkpoint)", records)
+	}
+	// Under the limit: a no-op.
+	if err := st.CompactIfAbove(5); err != nil {
+		t.Fatalf("idempotent compact: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st2, err := OpenStore(path, journal.SyncNone)
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer st2.Close()
+	if got, ok := st2.Verdict(inst.Key()); !ok || !bytes.Equal(EncodeVerdict(got), EncodeVerdict(v)) {
+		t.Fatalf("verdict lost by compaction")
+	}
+	if gotCp, ok := st2.Checkpoint(instB.Key()); !ok || !bytes.Equal(gotCp, raw) {
+		t.Fatalf("latest checkpoint lost by compaction")
+	}
+}
+
+// FuzzStoreRecord drives the store record decoders with arbitrary
+// bytes: header splitting and verdict decoding must never panic, and
+// any verdict that decodes must survive a canonical re-encode/decode
+// round trip (arbitrary input may use non-minimal varints, so byte
+// equality with the input is not promised — semantic stability is).
+func FuzzStoreRecord(f *testing.F) {
+	inst := feasibility.Instance{N: 7, K: 3}.Normalized()
+	key := inst.Key()
+	f.Add(encodeRecord(recVerdict, key, EncodeVerdict(Verdict{Impossible: true, Tier: 2, TablesExplored: 9, ExpansionUnits: 123})))
+	surv := feasibility.Table{feasibility.ObsKey{}: feasibility.DStay}
+	f.Add(encodeRecord(recVerdict, key, EncodeVerdict(Verdict{Tier: 1, Survivor: surv})))
+	f.Add(encodeRecord(recCheckpoint, key, []byte("not-a-real-checkpoint")))
+	f.Add([]byte{recVerdict})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, rec []byte) {
+		typ, key, body, err := decodeRecordHeader(rec)
+		if err != nil {
+			return
+		}
+		if len(key) != instanceKeyLen {
+			t.Fatalf("decoded key of %d bytes", len(key))
+		}
+		if typ == recVerdict {
+			v, err := DecodeVerdict(body)
+			if err != nil {
+				return
+			}
+			canon := EncodeVerdict(v)
+			v2, err := DecodeVerdict(canon)
+			if err != nil {
+				t.Fatalf("canonical re-encode does not decode: %v", err)
+			}
+			if !bytes.Equal(EncodeVerdict(v2), canon) {
+				t.Fatalf("canonical encoding is not a fixed point")
+			}
+		}
+	})
+}
