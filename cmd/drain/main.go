@@ -15,6 +15,21 @@
 // With -workers 1 (the default) a chain of suspended runs is
 // bit-deterministic: it reaches the same verdict, tier and
 // TablesExplored as one uninterrupted run.
+//
+// Distributed drains (-shards / -worker, internal/drainpool):
+//
+//	# coordinator: partition the frontier into 4 leased subtree shards,
+//	# run worker subprocesses, merge, repeat until the verdict
+//	go run ./cmd/drain -n 9 -k 5 -shards 4 -journal-dir drain95/
+//
+//	# a worker for one shard journal (the coordinator launches these
+//	# itself; run them by hand on other machines sharing the directory)
+//	go run ./cmd/drain -worker -journal drain95/shard-g001-s002.journal
+//
+// The coordinator journals partitions, leases and shard completions in
+// <dir>/pool.journal: kill -9 it and the same command recovers the
+// drain, adopting workers that are still alive. Crashed or wedged
+// workers lose their lease and are reassigned with capped backoff.
 package main
 
 import (
@@ -23,11 +38,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"ringrobots/internal/drainpool"
 	"ringrobots/internal/feasibility"
 	"ringrobots/internal/journal"
 )
@@ -58,6 +76,73 @@ func parseTiers(s string) ([]int, error) {
 	return out, nil
 }
 
+// runWorker executes one leased shard: resume the shard journal's
+// latest checkpoint, journal the terminal shard result. Everything
+// identifying the shard lives in the journal, so a worker on another
+// machine needs only the shared journal directory.
+func runWorker(path string, budget, every, workers int, crashAfter int64) {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	err := drainpool.RunShard(ctx, path, drainpool.WorkerOptions{
+		Budget:             budget,
+		CheckpointEvery:    every,
+		SolverWorkers:      workers,
+		CrashAfterBranches: crashAfter,
+		Logf:               func(f string, a ...any) { fmt.Printf("worker: "+f+"\n", a...) },
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// runCoordinator drives a sharded drain, launching this same binary in
+// -worker mode for each shard lease.
+func runCoordinator(inst feasibility.Instance, dir string, shards, poolProcs int, lease time.Duration, budget, every, workers, generations int, crashWorkerAfter int64) {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("locating own binary for worker launches: %v", err)
+	}
+	cfg := drainpool.Config{
+		Dir:             dir,
+		Instance:        inst,
+		Shards:          shards,
+		MaxProcs:        poolProcs,
+		Lease:           lease,
+		WorkerBudget:    budget,
+		CheckpointEvery: every,
+		SolverWorkers:   workers,
+		MaxGenerations:  generations,
+		Launch: func(spec drainpool.WorkerSpec) *exec.Cmd {
+			args := []string{
+				"-worker", "-journal", spec.JournalPath,
+				"-budget", strconv.Itoa(spec.Budget),
+				"-checkpoint-every", strconv.Itoa(spec.CheckpointEvery),
+				"-workers", strconv.Itoa(spec.SolverWorkers),
+			}
+			if crashWorkerAfter > 0 && spec.Attempt == 1 {
+				args = append(args, "-crash-after-branches", strconv.FormatInt(crashWorkerAfter, 10))
+			}
+			cmd := exec.Command(exe, args...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+		Logf: func(f string, a ...any) { fmt.Printf("pool: "+f+"\n", a...) },
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	res, err := drainpool.Run(ctx, cfg)
+	switch {
+	case err == nil:
+		fmt.Printf("verdict: n=%d k=%d impossible=%v tier=%d tables=%d units=%d survivor=%v\n",
+			inst.N, inst.K, res.Impossible, res.Tier, res.TablesExplored, res.ExpansionUnits, res.SurvivorTable != nil)
+	case errors.Is(err, drainpool.ErrSuspended):
+		fmt.Printf("suspended (%v); rerun the same command to continue\n", err)
+		os.Exit(3)
+	default:
+		fatalf("%v", err)
+	}
+}
+
 func printStats(prefix string, st feasibility.CheckpointStats) {
 	fmt.Printf("%s: tier=%d (index %d) frontier=%d branches depth=[%d..%d] tables=%d units=%d credits=%d nogoods=%d survivor=%v\n",
 		prefix, st.Tier, st.TierIndex, st.FrontierNodes, st.FrontierDepthMin, st.FrontierDepthMax,
@@ -76,20 +161,54 @@ func main() {
 	tiers := flag.String("tiers", "", "comma-separated pending-move tier ladder (default: solver's 0,2)")
 	cycleCap := flag.Int("cycle-cap", 0, "max starvation-loop length (0 = solver default)")
 	crashAfter := flag.Int64("crash-after-branches", 0, "TESTING: SIGKILL this process after that many processed branches")
+	worker := flag.Bool("worker", false, "run as a drain-pool worker for one shard journal (-journal); shard identity comes from the journal")
+	shards := flag.Int("shards", 0, "run as a drain-pool coordinator partitioning the frontier into this many leased shards (requires -journal-dir)")
+	journalDir := flag.String("journal-dir", "", "coordinator journal directory (pool.journal plus per-shard journals); share it to distribute workers")
+	lease := flag.Duration("lease", 30*time.Second, "coordinator: reassign a shard whose journal stops growing for this long")
+	poolProcs := flag.Int("pool-procs", 0, "coordinator: max concurrently running workers (0 = one per shard)")
+	generations := flag.Int("generations", 0, "coordinator: suspend resumable after this many partition/merge cycles (0 = run to the verdict)")
+	crashWorkerAfter := flag.Int64("crash-worker-after", 0, "TESTING: coordinator launches each shard's first attempt with -crash-after-branches set to this")
 	flag.Parse()
 
 	// Fail fast with every flag problem at once, not first-error-wins.
 	var errs []error
-	if *journalPath == "" {
-		errs = append(errs, errors.New("-journal is required"))
+	switch {
+	case *worker && *shards > 0:
+		errs = append(errs, errors.New("-worker and -shards are mutually exclusive"))
+	case *worker:
+		if *journalPath == "" {
+			errs = append(errs, errors.New("-worker requires -journal (the shard journal seeded by a coordinator)"))
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n", "k", "tiers", "cycle-cap":
+				errs = append(errs, fmt.Errorf("-%s conflicts with -worker: the shard journal defines the instance", f.Name))
+			}
+		})
+	case *shards > 0:
+		if *journalDir == "" {
+			errs = append(errs, errors.New("-shards requires -journal-dir"))
+		}
+		if *journalPath != "" {
+			errs = append(errs, errors.New("-journal conflicts with -shards; the coordinator owns <journal-dir>/pool.journal"))
+		}
+	default:
+		if *journalPath == "" {
+			errs = append(errs, errors.New("-journal is required"))
+		}
+		if *journalDir != "" {
+			errs = append(errs, errors.New("-journal-dir requires -shards (coordinator mode)"))
+		}
 	}
 	tierList, terr := parseTiers(*tiers)
 	if terr != nil {
 		errs = append(errs, terr)
 	}
 	inst := feasibility.Instance{N: *n, K: *k, MaxCycleLen: *cycleCap, PendingTiers: tierList}
-	if err := inst.Validate(); err != nil {
-		errs = append(errs, err)
+	if !*worker { // a worker's instance comes from the shard journal
+		if err := inst.Validate(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if *budget < 0 {
 		errs = append(errs, fmt.Errorf("-budget %d is negative", *budget))
@@ -111,6 +230,15 @@ func main() {
 	}
 	if len(errs) > 0 {
 		fatalf("invalid flags:\n%v", errors.Join(errs...))
+	}
+
+	if *worker {
+		runWorker(*journalPath, *budget, *every, *workers, *crashAfter)
+		return
+	}
+	if *shards > 0 {
+		runCoordinator(inst, *journalDir, *shards, *poolProcs, *lease, *budget, *every, *workers, *generations, *crashWorkerAfter)
+		return
 	}
 
 	policy := journal.SyncNone

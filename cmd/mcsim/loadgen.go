@@ -3,9 +3,12 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +30,39 @@ import (
 type loadQuery struct {
 	n, k   int
 	budget int // 0 = server default
+}
+
+// A load-shed 429 is the server asking for patience, not a lost
+// request: honor its Retry-After hint (or fall back to capped
+// exponential backoff with jitter) and retry a few times before
+// giving the request up. Retries surface as their own "retry-429"
+// status bucket so shedding stays visible in the report.
+const (
+	max429Attempts   = 5
+	retryBackoffBase = 100 * time.Millisecond
+	retryBackoffCap  = 5 * time.Second
+)
+
+// retryDelay picks the wait before attempt+1: the server's Retry-After
+// seconds when given, else base·2^(attempt-1) plus up to 50% jitter,
+// both capped.
+func retryDelay(retryAfter string, attempt int, rng *rand.Rand) time.Duration {
+	if sec, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && sec >= 0 {
+		d := time.Duration(sec) * time.Second
+		if d > retryBackoffCap {
+			d = retryBackoffCap
+		}
+		return d
+	}
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := retryBackoffBase << uint(shift)
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	return d + time.Duration(rng.Int63n(int64(d)/2+1))
 }
 
 // wideRingBudget suspends a wide-ring solve after roughly a quarter
@@ -56,6 +92,7 @@ func runLoadgen(target string, seed int64, requests, concurrency, budget int) er
 		status  string
 		code    int
 		latency time.Duration
+		retries int
 		err     error
 	}
 	outcomes := make([]outcome, requests)
@@ -64,8 +101,9 @@ func runLoadgen(target string, seed int64, requests, concurrency, budget int) er
 	t0 := time.Now()
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w))) // jitter only; the query mix is fixed
 			for i := range idx {
 				url := fmt.Sprintf("%s/solve?n=%d&k=%d", target, qs[i].n, qs[i].k)
 				if b := qs[i].budget; budget > 0 {
@@ -73,23 +111,36 @@ func runLoadgen(target string, seed int64, requests, concurrency, budget int) er
 				} else if b > 0 {
 					url += fmt.Sprintf("&budget=%d", b)
 				}
-				start := time.Now()
-				resp, err := client.Get(url)
-				lat := time.Since(start)
-				if err != nil {
-					outcomes[i] = outcome{status: "transport-error", latency: lat, err: err}
-					continue
+				var o outcome
+				for attempt := 1; ; attempt++ {
+					start := time.Now()
+					resp, err := client.Get(url)
+					lat := time.Since(start)
+					if err != nil {
+						o.status, o.latency, o.err = "transport-error", lat, err
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests && attempt < max429Attempts {
+						retryAfter := resp.Header.Get("Retry-After")
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						o.retries++
+						time.Sleep(retryDelay(retryAfter, attempt, rng))
+						continue
+					}
+					var body service.SolveBody
+					decErr := json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if decErr != nil {
+						o.status, o.code, o.latency, o.err = "bad-body", resp.StatusCode, lat, decErr
+						break
+					}
+					o.status, o.code, o.latency = body.Status, resp.StatusCode, lat
+					break
 				}
-				var body service.SolveBody
-				decErr := json.NewDecoder(resp.Body).Decode(&body)
-				resp.Body.Close()
-				if decErr != nil {
-					outcomes[i] = outcome{status: "bad-body", code: resp.StatusCode, latency: lat, err: decErr}
-					continue
-				}
-				outcomes[i] = outcome{status: body.Status, code: resp.StatusCode, latency: lat}
+				outcomes[i] = o
 			}
-		}()
+		}(w)
 	}
 	for i := range qs {
 		idx <- i
@@ -101,12 +152,17 @@ func runLoadgen(target string, seed int64, requests, concurrency, budget int) er
 	counts := map[string]int{}
 	lats := make([]time.Duration, 0, requests)
 	var worstErr error
+	retries := 0
 	for _, o := range outcomes {
 		counts[o.status]++
+		retries += o.retries
 		lats = append(lats, o.latency)
 		if o.err != nil && worstErr == nil {
 			worstErr = o.err
 		}
+	}
+	if retries > 0 {
+		counts["retry-429"] = retries
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(q float64) time.Duration {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ringrobots/internal/service"
+)
+
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := retryDelay("2", 1, rng); d != 2*time.Second {
+		t.Fatalf("Retry-After 2 -> %v, want 2s", d)
+	}
+	if d := retryDelay("3600", 1, rng); d != retryBackoffCap {
+		t.Fatalf("huge Retry-After must cap at %v, got %v", retryBackoffCap, d)
+	}
+	// No (or junk) header: capped exponential backoff with jitter.
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := retryDelay("", attempt, rng)
+		lo := retryBackoffBase << uint(attempt-1)
+		if lo > retryBackoffCap {
+			lo = retryBackoffCap
+		}
+		if d < lo || d > lo+lo/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, lo, lo+lo/2)
+		}
+	}
+	if d := retryDelay("soon", 1, rng); d < retryBackoffBase {
+		t.Fatalf("junk Retry-After must fall back to backoff, got %v", d)
+	}
+}
+
+// TestLoadgenRetriesShedRequests stands up a fake verdict service that
+// 429s every first attempt: the load generator must come back after
+// Retry-After instead of counting those requests lost.
+func TestLoadgenRetriesShedRequests(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.URL.RawQuery]++
+		n := seen[r.URL.RawQuery]
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(service.SolveBody{Status: "shed", RetryAfterSec: 0})
+			return
+		}
+		imp, tier := true, 0
+		json.NewEncoder(w).Encode(service.SolveBody{Status: "verdict", Impossible: &imp, Tier: &tier})
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.Snapshot{})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if err := runLoadgen(srv.URL, 1, 8, 2, 0); err != nil {
+		t.Fatalf("loadgen against 429-then-200 server: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for q, n := range seen {
+		if n < 2 {
+			t.Fatalf("query %q was never retried after its 429", q)
+		}
+	}
+}

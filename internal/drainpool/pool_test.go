@@ -1,0 +1,351 @@
+package drainpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ringrobots/internal/feasibility"
+	"ringrobots/internal/journal"
+)
+
+// The fault suite re-execs this test binary as worker (and coordinator)
+// processes, env-gated like the checkpoint fault tests. Every worker is
+// a real OS process so kill -9 is a real kill -9.
+const (
+	envWorker     = "RINGROBOTS_POOL_WORKER"
+	envCoord      = "RINGROBOTS_POOL_COORD"
+	envJournal    = "RINGROBOTS_POOL_JOURNAL"
+	envDir        = "RINGROBOTS_POOL_DIR"
+	envBudget     = "RINGROBOTS_POOL_BUDGET"
+	envCkptEvery  = "RINGROBOTS_POOL_CKPT_EVERY"
+	envCrashAfter = "RINGROBOTS_POOL_CRASH_AFTER"
+	envWedge      = "RINGROBOTS_POOL_WEDGE"
+)
+
+func atoiEnv(key string) int {
+	n, _ := strconv.Atoi(os.Getenv(key))
+	return n
+}
+
+// TestPoolWorkerHelper is the worker subprocess body, not a test.
+func TestPoolWorkerHelper(t *testing.T) {
+	if os.Getenv(envWorker) != "1" {
+		t.Skip("subprocess helper")
+	}
+	path := os.Getenv(envJournal)
+	if os.Getenv(envWedge) == "1" {
+		// Hold the shard journal's flock without ever appending: a live
+		// but wedged worker. Journal growth is the liveness signal, so
+		// the coordinator must expire this lease and reassign.
+		log, err := journal.Open(path, journal.SyncAlways)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer log.Close()
+		time.Sleep(time.Hour)
+		os.Exit(0)
+	}
+	opt := WorkerOptions{
+		Budget:             atoiEnv(envBudget),
+		CheckpointEvery:    atoiEnv(envCkptEvery),
+		Heartbeat:          50 * time.Millisecond,
+		CrashAfterBranches: int64(atoiEnv(envCrashAfter)),
+	}
+	if err := RunShard(context.Background(), path, opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// launchPlan builds worker commands for the coordinator, with optional
+// fault injection decided per spec (so e.g. only first attempts crash).
+type launchPlan struct {
+	mu         sync.Mutex
+	crashAfter func(WorkerSpec) int64
+	wedge      func(WorkerSpec) bool
+}
+
+func (p *launchPlan) launch(spec WorkerSpec) *exec.Cmd {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestPoolWorkerHelper$")
+	env := append(os.Environ(),
+		envWorker+"=1",
+		envJournal+"="+spec.JournalPath,
+		fmt.Sprintf("%s=%d", envBudget, spec.Budget),
+		fmt.Sprintf("%s=%d", envCkptEvery, spec.CheckpointEvery),
+	)
+	if p.crashAfter != nil {
+		if n := p.crashAfter(spec); n > 0 {
+			env = append(env, fmt.Sprintf("%s=%d", envCrashAfter, n))
+		}
+	}
+	if p.wedge != nil && p.wedge(spec) {
+		env = append(env, envWedge+"=1")
+	}
+	cmd.Env = env
+	return cmd
+}
+
+func oracleVerdict(t *testing.T, inst feasibility.Instance) feasibility.Result {
+	t.Helper()
+	s := inst.Solver()
+	s.Workers = 1
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatalf("oracle solve (%d,%d): %v", inst.N, inst.K, err)
+	}
+	return res
+}
+
+// checkAgainstOracle asserts the sharded drain settled the same
+// question the same way: verdict, tier, and survivor existence.
+// Counters like TablesExplored are deliberately NOT compared — shard
+// boundaries and reassignment change how often tables are re-examined
+// without changing what was decided.
+func checkAgainstOracle(t *testing.T, got, want feasibility.Result) {
+	t.Helper()
+	if got.Impossible != want.Impossible {
+		t.Fatalf("verdict mismatch: pool impossible=%v, oracle impossible=%v", got.Impossible, want.Impossible)
+	}
+	if got.Tier != want.Tier {
+		t.Fatalf("tier mismatch: pool settled at tier %d, oracle at tier %d", got.Tier, want.Tier)
+	}
+	if (got.SurvivorTable != nil) != (want.SurvivorTable != nil) {
+		t.Fatalf("survivor mismatch: pool survivor=%v, oracle survivor=%v",
+			got.SurvivorTable != nil, want.SurvivorTable != nil)
+	}
+	if got.ExpansionUnits <= 0 {
+		t.Fatalf("pool result reports no work: %+v", got)
+	}
+}
+
+func testConfig(dir string, inst feasibility.Instance, plan *launchPlan) Config {
+	return Config{
+		Dir:             dir,
+		Instance:        inst,
+		Shards:          3,
+		Lease:           10 * time.Second,
+		Poll:            20 * time.Millisecond,
+		CheckpointEvery: 4,
+		BackoffBase:     time.Millisecond,
+		BackoffCap:      20 * time.Millisecond,
+		MaxAttempts:     6,
+		Launch:          plan.launch,
+	}
+}
+
+func TestPoolMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drain pool in -short mode")
+	}
+	// (7,3) and (8,5) fan out to real worker subprocesses; (7,4)'s
+	// frontier never reaches the shard width, covering the drain that
+	// finishes entirely inside the coordinator's expansion phase.
+	for _, inst := range []feasibility.Instance{{N: 7, K: 3}, {N: 7, K: 4}, {N: 8, K: 5}} {
+		inst := inst
+		t.Run(fmt.Sprintf("n%dk%d", inst.N, inst.K), func(t *testing.T) {
+			want := oracleVerdict(t, inst)
+			plan := &launchPlan{}
+			cfg := testConfig(t.TempDir(), inst, plan)
+			got, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("pool run: %v", err)
+			}
+			checkAgainstOracle(t, got, want)
+			// A second Run over the same directory must replay the
+			// journaled verdict without doing any work.
+			again, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("idempotent rerun: %v", err)
+			}
+			if again.Impossible != got.Impossible || again.Tier != got.Tier {
+				t.Fatalf("replayed verdict differs: first %+v, replay %+v", got, again)
+			}
+		})
+	}
+}
+
+// TestPoolRandomWorkerCrashes kill -9s the first attempt of every shard
+// at a pseudo-random branch count. Reassigned attempts resume from the
+// crashed attempt's journaled checkpoints; the verdict must match the
+// uninterrupted single-process run.
+func TestPoolRandomWorkerCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drain pool in -short mode")
+	}
+	inst := feasibility.Instance{N: 9, K: 4}
+	want := oracleVerdict(t, inst)
+	seed := time.Now().UnixNano()
+	t.Logf("crash schedule seed: %d", seed)
+	next := seed
+	plan := &launchPlan{}
+	plan.crashAfter = func(spec WorkerSpec) int64 {
+		if spec.Attempt > 1 {
+			return 0 // retries run clean, guaranteeing forward progress
+		}
+		next = next*6364136223846793005 + 1442695040888963407 // LCG; launch() holds plan.mu
+		return 1 + (next>>33)%23
+	}
+	cfg := testConfig(t.TempDir(), inst, plan)
+	cfg.WorkerBudget = 120 // several generations, so crashes hit many phases
+	got, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("pool run with crashing workers: %v", err)
+	}
+	checkAgainstOracle(t, got, want)
+}
+
+// TestPoolLeaseExpiryReassignment wedges shard 0's first worker: the
+// process stays alive and holds the journal flock but never appends.
+// The coordinator must expire the lease, kill the holder, and complete
+// the shard on a fresh attempt — no shard is silently lost.
+func TestPoolLeaseExpiryReassignment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drain pool in -short mode")
+	}
+	inst := feasibility.Instance{N: 7, K: 3}
+	want := oracleVerdict(t, inst)
+	plan := &launchPlan{}
+	plan.wedge = func(spec WorkerSpec) bool { return spec.Shard == 0 && spec.Attempt == 1 && spec.Gen == 1 }
+	cfg := testConfig(t.TempDir(), inst, plan)
+	cfg.Lease = 1200 * time.Millisecond
+	var mu sync.Mutex
+	var lines []string
+	cfg.Logf = func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	got, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("pool run with wedged worker: %v", err)
+	}
+	checkAgainstOracle(t, got, want)
+	mu.Lock()
+	defer mu.Unlock()
+	expired := false
+	for _, l := range lines {
+		if strings.Contains(l, "lease expired") {
+			expired = true
+		}
+	}
+	if !expired {
+		t.Fatalf("wedged worker's lease never expired; log:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestPoolSuspendResume stops the drain resumable after one generation
+// (MaxGenerations) and finishes it with a second Run over the same
+// journal directory.
+func TestPoolSuspendResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drain pool in -short mode")
+	}
+	inst := feasibility.Instance{N: 7, K: 3}
+	want := oracleVerdict(t, inst)
+	plan := &launchPlan{}
+	cfg := testConfig(t.TempDir(), inst, plan)
+	cfg.WorkerBudget = 150
+	cfg.MaxGenerations = 1
+	if _, err := Run(context.Background(), cfg); !errors.Is(err, ErrSuspended) {
+		t.Fatalf("one-generation run: want ErrSuspended, got %v", err)
+	}
+	cfg.MaxGenerations = 0
+	got, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	checkAgainstOracle(t, got, want)
+}
+
+// TestPoolCoordinatorHelper is the coordinator subprocess body for the
+// kill -9 recovery test, not a test.
+func TestPoolCoordinatorHelper(t *testing.T) {
+	if os.Getenv(envCoord) != "1" {
+		t.Skip("subprocess helper")
+	}
+	plan := &launchPlan{}
+	cfg := testConfig(os.Getenv(envDir), feasibility.Instance{N: 10, K: 7}, plan)
+	cfg.WorkerBudget = atoiEnv(envBudget)
+	cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, "coord: "+format+"\n", args...) }
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("impossible=%v tier=%d\n", res.Impossible, res.Tier)
+	os.Exit(0)
+}
+
+// TestPoolCoordinatorKillRecovery kill -9s a live coordinator mid-drain
+// and resumes in-process over the same directory. The replacement must
+// recover the generation from the pool journal, adopt or reassign the
+// orphaned workers, and land on the single-process verdict.
+func TestPoolCoordinatorKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drain pool in -short mode")
+	}
+	inst := feasibility.Instance{N: 10, K: 7}
+	want := oracleVerdict(t, inst)
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestPoolCoordinatorHelper$")
+	cmd.Env = append(os.Environ(), envCoord+"=1", envDir+"="+dir, fmt.Sprintf("%s=%d", envBudget, 60))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting coordinator subprocess: %v", err)
+	}
+
+	// Wait for real drain activity — at least one seeded shard journal —
+	// then kill the coordinator without any warning.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("coordinator subprocess never seeded a shard journal")
+		}
+		matches, _ := filepath.Glob(filepath.Join(dir, "shard-g*.journal"))
+		if len(matches) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // let workers spawn so orphans exist
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill -9 coordinator: %v", err)
+	}
+	cmd.Wait()
+
+	// The dead coordinator's flock is released by the kernel; wait for
+	// the pool journal to become claimable.
+	for {
+		if _, locked := journal.LockHolder(poolJournalPath(dir)); !locked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool journal still locked after coordinator death")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	plan := &launchPlan{}
+	cfg := testConfig(dir, inst, plan)
+	cfg.WorkerBudget = 60
+	got, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	checkAgainstOracle(t, got, want)
+}

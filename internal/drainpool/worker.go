@@ -1,0 +1,197 @@
+package drainpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"ringrobots/internal/feasibility"
+	"ringrobots/internal/journal"
+)
+
+// WorkerOptions tunes one shard run. The shard's identity — instance,
+// tier, frontier — comes entirely from the shard journal, so a worker
+// needs nothing but the journal path (which is what makes multi-machine
+// operation a shared journal directory away).
+type WorkerOptions struct {
+	// Budget bounds expansion units for this leg (0: solver default).
+	Budget int
+	// CheckpointEvery journals a checkpoint every that many branches
+	// (0: only the terminal result is journaled).
+	CheckpointEvery int
+	// SolverWorkers sizes the in-process search pool (0: one worker,
+	// keeping shard legs deterministic).
+	SolverWorkers int
+	// Heartbeat is the cadence of liveness appends (0: 1s). It must be
+	// comfortably below the coordinator's lease.
+	Heartbeat time.Duration
+	// CrashAfterBranches, when positive, SIGKILLs the worker's own
+	// process after that many branches — the fault suite's crashpoint.
+	CrashAfterBranches int64
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// RunShard executes one leased shard: open the shard journal (taking
+// its flock — the lease-holding token other processes can observe),
+// resume the latest journaled checkpoint under StopAfterTier, and
+// append the terminal ShardResult. Execution is at-least-once safe:
+// if a previous attempt already journaled a result, RunShard returns
+// immediately without recomputing, and a crashed attempt's periodic
+// checkpoints let the next attempt resume mid-shard instead of
+// restarting.
+func RunShard(ctx context.Context, journalPath string, opt WorkerOptions) error {
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	log, err := journal.Open(journalPath, journal.SyncAlways)
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+
+	shard := -1
+	var ckptRaw []byte
+	done := false
+	err = log.ForEach(func(p []byte) error {
+		if len(p) == 0 {
+			return errors.New("drainpool: empty shard journal record")
+		}
+		switch p[0] {
+		case recShardMeta:
+			_, s, err := decShardMeta(p)
+			if err != nil {
+				return err
+			}
+			shard = s
+		case recShardCkpt:
+			ckptRaw = append(ckptRaw[:0], p[1:]...)
+		case recShardDone:
+			done = true
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if shard < 0 {
+		return fmt.Errorf("drainpool: %s has no shard meta record (not seeded by a coordinator?)", journalPath)
+	}
+	if done {
+		logf("shard %d: result already journaled, nothing to do", shard)
+		return nil
+	}
+	if ckptRaw == nil {
+		return fmt.Errorf("drainpool: %s has no checkpoint to resume", journalPath)
+	}
+	ck, err := feasibility.UnmarshalCheckpoint(ckptRaw)
+	if err != nil {
+		return err
+	}
+	s, err := ck.NewSolver()
+	if err != nil {
+		return err
+	}
+	s.StopAfterTier = true // the coordinator's merge decides escalation
+	s.Workers = 1
+	if opt.SolverWorkers > 0 {
+		s.Workers = opt.SolverWorkers
+	}
+	if opt.Budget > 0 {
+		s.MaxExpansions = opt.Budget
+	}
+
+	// journal.Log is single-goroutine; the heartbeat ticker and the
+	// checkpoint callback both append, so serialize them.
+	var mu sync.Mutex
+	appendRec := func(p []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return log.Append(p)
+	}
+	if opt.CheckpointEvery > 0 {
+		s.CheckpointEvery = opt.CheckpointEvery
+		s.OnCheckpoint = func(cp *feasibility.Checkpoint) error {
+			raw, err := cp.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			return appendRec(encShardCkpt(raw))
+		}
+	}
+	if opt.CrashAfterBranches > 0 {
+		s.BranchHook = func(done int64) {
+			if done >= opt.CrashAfterBranches {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	hb := opt.Heartbeat
+	if hb <= 0 {
+		hb = time.Second
+	}
+	stop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// The append itself is the liveness signal: the
+				// coordinator's lease extends only on journal growth, so a
+				// wedged process that merely stays alive still loses its
+				// lease.
+				appendRec([]byte{recShardBeat})
+			}
+		}
+	}()
+
+	res, cp, err := s.Resume(ctx, ck)
+	close(stop)
+	hbWG.Wait()
+
+	r := feasibility.ShardResult{Shard: shard, Counters: res}
+	r.Counters.SurvivorTable = nil
+	switch {
+	case err == nil && res.Impossible:
+		r.Refuted = true
+		r.Prune = s.PruneExport()
+	case err == nil && res.SurvivorTable != nil:
+		r.Survivor = res.SurvivorTable
+		r.Prune = s.PruneExport()
+	case err != nil && cp != nil:
+		// Budget or cancellation: report the remaining frontier; the
+		// coordinator re-suspends it into the merged checkpoint.
+		r.Suspended = cp
+	case err != nil:
+		return fmt.Errorf("drainpool: shard %d failed: %w", shard, err)
+	default:
+		return fmt.Errorf("drainpool: shard %d ended without a classifiable outcome", shard)
+	}
+	raw, err := r.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := appendRec(encShardDone(raw)); err != nil {
+		return err
+	}
+	switch {
+	case r.Refuted:
+		logf("shard %d: subtree refuted (%d tables)", shard, res.TablesExplored)
+	case r.Survivor != nil:
+		logf("shard %d: survivor found (%d entries)", shard, len(r.Survivor))
+	default:
+		logf("shard %d: suspended (%d open branches)", shard, r.Suspended.Stats().FrontierNodes)
+	}
+	return nil
+}

@@ -228,6 +228,7 @@ type CheckpointStats struct {
 	N, K             int
 	Tier             int // pending limit of the suspended tier
 	TierIndex        int
+	TierCount        int // length of the pending-tier ladder
 	FrontierNodes    int
 	FrontierDepthMin int // table entries bound on the shallowest open branch
 	FrontierDepthMax int
@@ -245,6 +246,7 @@ func (ck *Checkpoint) Stats() CheckpointStats {
 		N:                ck.n,
 		K:                ck.k,
 		TierIndex:        ck.tierIndex,
+		TierCount:        len(ck.pendingTiers),
 		FrontierNodes:    len(ck.frontier),
 		TablesExplored:   ck.counters.TablesExplored,
 		ExpansionUnits:   ck.counters.ExpansionUnits,
@@ -431,15 +433,7 @@ func (ck *Checkpoint) MarshalBinary() ([]byte, error) {
 		b = binary.AppendUvarint(b, uint64(t))
 	}
 	b = binary.AppendUvarint(b, uint64(ck.tierIndex))
-	c := &ck.counters
-	b = binary.AppendUvarint(b, uint64(c.Tier))
-	b = binary.AppendUvarint(b, uint64(c.TablesExplored))
-	b = binary.AppendVarint(b, c.StatesInterned)
-	b = binary.AppendVarint(b, c.StatesReexpanded)
-	b = binary.AppendVarint(b, c.BranchesReused)
-	b = binary.AppendVarint(b, c.TablesMemoHit)
-	b = binary.AppendVarint(b, c.BranchesDominated)
-	b = binary.AppendVarint(b, c.ExpansionUnits)
+	b = appendResultCounters(b, &ck.counters)
 	if ck.hasPrior {
 		b = binary.AppendUvarint(b, uint64(len(ck.prior)))
 		for _, e := range ck.prior {
@@ -499,15 +493,7 @@ func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 		ck.pendingTiers = append(ck.pendingTiers, int(d.uvarint()))
 	}
 	ck.tierIndex = int(d.uvarint())
-	c := &ck.counters
-	c.Tier = int(d.uvarint())
-	c.TablesExplored = int(d.uvarint())
-	c.StatesInterned = d.varint()
-	c.StatesReexpanded = d.varint()
-	c.BranchesReused = d.varint()
-	c.TablesMemoHit = d.varint()
-	c.BranchesDominated = d.varint()
-	c.ExpansionUnits = d.varint()
+	d.resultCounters(&ck.counters)
 	if ck.hasPrior {
 		n := d.count(3)
 		ck.prior = make([]pruneEntry, 0, n)

@@ -303,10 +303,21 @@ type Solver struct {
 	// It is the crashpoint hook of the fault-injection suite (and of
 	// cmd/drain's crash modes); production solves leave it nil.
 	BranchHook func(int64)
+	// StopAfterTier makes Solve/Resume return at the end of the first
+	// tier it runs instead of escalating the ladder on a survivor. A
+	// sharded drain (partition.go) needs this: each shard settles only
+	// its own subtree at the checkpoint's tier, and the coordinator's
+	// merge step — which alone sees every shard — decides escalation.
+	StopAfterTier bool
 
 	// obsCache memoizes per-configuration observations across all table
 	// branches, tiers and workers, sharded by occupied mask.
 	obsCache *obsCache
+
+	// lastPrune retains the most recent solve's pruning state so
+	// PruneExport (partition.go) can ship learned nogoods and credits
+	// from a finished shard back to the drain-pool coordinator.
+	lastPrune *pruneState
 }
 
 // NewSolver returns a solver with defaults suitable for n ≤ 9: the
@@ -444,6 +455,7 @@ func (s *Solver) solve(ctx context.Context, ck *Checkpoint) (Result, *Checkpoint
 	if !s.NoPrune {
 		prune = newPruneState()
 	}
+	s.lastPrune = prune
 
 	res := Result{}
 	startTier := 0
@@ -571,6 +583,9 @@ func (s *Solver) solve(ctx context.Context, ck *Checkpoint) (Result, *Checkpoint
 		if ts.survivor != nil {
 			survivor = ts.survivor
 			res.SurvivorTable = survivor
+			if s.StopAfterTier {
+				return res, nil, nil
+			}
 			continue // a survivor escalates to the next tier
 		}
 		if ts.err != nil {

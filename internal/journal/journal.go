@@ -16,12 +16,38 @@ package journal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 )
+
+// ErrLocked is the sentinel wrapped by LockedError: another process
+// holds the journal's advisory writer lock. Match it with errors.Is.
+var ErrLocked = errors.New("journal: locked by another process")
+
+// LockedError reports a failed lock acquisition, with the pid the
+// current holder recorded in the sidecar (0 when unreadable).
+type LockedError struct {
+	Path      string
+	HolderPID int
+}
+
+func (e *LockedError) Error() string {
+	if e.HolderPID != 0 {
+		return fmt.Sprintf("journal: %s is locked by pid %d", e.Path, e.HolderPID)
+	}
+	return fmt.Sprintf("journal: %s is locked by another process", e.Path)
+}
+
+func (e *LockedError) Unwrap() error { return ErrLocked }
+
+// lockPath is the sidecar file carrying the journal's advisory flock.
+// It sits next to the journal so Compact's rename of the journal file
+// itself never disturbs the lock.
+func lockPath(path string) string { return path + ".lock" }
 
 const (
 	headerSize = 8
@@ -49,6 +75,7 @@ const (
 type Log struct {
 	path   string
 	f      *os.File
+	lock   *os.File // sidecar holding the advisory flock, nil on non-unix
 	policy SyncPolicy
 	n      int
 	size   int64
@@ -93,35 +120,46 @@ func Scan(buf []byte) (recs [][]byte, valid int) {
 
 // Open opens (creating if absent) the journal at path, recovers its
 // valid prefix, truncates any torn or corrupt tail, and positions the
-// log for appending.
+// log for appending. Open takes the journal's advisory writer lock
+// (an flock on the path+".lock" sidecar); when another live process
+// holds it, Open fails with a LockedError matching ErrLocked, naming
+// the holder's pid. The lock dies with the process, so a crashed
+// writer never needs manual cleanup. Lock-free readers (Scan over
+// os.ReadFile) are unaffected.
 func Open(path string, policy SyncPolicy) (*Log, error) {
+	lock, err := acquireLock(path)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		releaseLock(lock)
+		return nil, err
+	}
+	fail := func(err error) (*Log, error) {
+		f.Close()
+		releaseLock(lock)
 		return nil, err
 	}
 	buf, err := io.ReadAll(f)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+		return fail(fmt.Errorf("journal: reading %s: %w", path, err))
 	}
 	recs, valid := Scan(buf)
 	if valid < len(buf) {
 		if err := f.Truncate(int64(valid)); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+			return fail(fmt.Errorf("journal: truncating torn tail of %s: %w", path, err))
 		}
 		if policy == SyncAlways {
 			if err := f.Sync(); err != nil {
-				f.Close()
-				return nil, err
+				return fail(err)
 			}
 		}
 	}
 	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
+		return fail(err)
 	}
-	l := &Log{path: path, f: f, policy: policy, n: len(recs), size: int64(valid)}
+	l := &Log{path: path, f: f, lock: lock, policy: policy, n: len(recs), size: int64(valid)}
 	if len(recs) > 0 {
 		l.last = append([]byte(nil), recs[len(recs)-1]...)
 	}
@@ -250,5 +288,13 @@ func (l *Log) Compact(keep [][]byte) error {
 	return nil
 }
 
-// Close releases the file handle. The log must not be used afterwards.
-func (l *Log) Close() error { return l.f.Close() }
+// Close releases the file handle and the advisory writer lock. The
+// log must not be used afterwards.
+func (l *Log) Close() error {
+	err := l.f.Close()
+	if lerr := releaseLock(l.lock); err == nil {
+		err = lerr
+	}
+	l.lock = nil
+	return err
+}

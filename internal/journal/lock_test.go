@@ -1,0 +1,131 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Two opens of the same journal from one process contend on the flock
+// exactly like two processes do (flock is per open file description):
+// the second Open must fail with ErrLocked naming this process.
+func TestOpenSecondWriterLockedSameProcess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l := openT(t, path, SyncNone)
+
+	_, err := Open(path, SyncNone)
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open error = %v, want ErrLocked", err)
+	}
+	var le *LockedError
+	if !errors.As(err, &le) || le.HolderPID != os.Getpid() {
+		t.Fatalf("LockedError = %+v, want holder pid %d", le, os.Getpid())
+	}
+	if pid, locked := LockHolder(path); !locked || pid != os.Getpid() {
+		t.Fatalf("LockHolder = (%d, %v), want (%d, true)", pid, locked, os.Getpid())
+	}
+
+	// Releasing the lock frees the journal for the next writer.
+	l.Close()
+	if _, locked := LockHolder(path); locked {
+		t.Fatal("LockHolder still reports locked after Close")
+	}
+	l2, err := Open(path, SyncNone)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	l2.Close()
+}
+
+// TestLockHelperProcess is not a test: re-execed by
+// TestTwoProcessContention with RINGROBOTS_LOCK_HELPER=1, it tries to
+// open the journal named by RINGROBOTS_LOCK_PATH. On success it prints
+// HELD and exits 0; when the journal is locked it prints the holder's
+// pid and exits with code 3.
+func TestLockHelperProcess(t *testing.T) {
+	if os.Getenv("RINGROBOTS_LOCK_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	l, err := Open(os.Getenv("RINGROBOTS_LOCK_PATH"), SyncNone)
+	if err != nil {
+		var le *LockedError
+		if errors.As(err, &le) {
+			fmt.Printf("LOCKED %d\n", le.HolderPID)
+			os.Exit(3)
+		}
+		fmt.Println(err)
+		os.Exit(1)
+	}
+	if err := l.Append([]byte("helper")); err != nil {
+		fmt.Println(err)
+		os.Exit(1)
+	}
+	l.Close()
+	fmt.Println("HELD")
+	os.Exit(0)
+}
+
+// TestTwoProcessContention re-execs the test binary as a second
+// journal writer: while this process holds the lock the child must be
+// refused with this pid, and after Close the child must win the lock
+// and append.
+func TestTwoProcessContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "contended.log")
+	l := openT(t, path, SyncNone)
+
+	run := func() (string, int) {
+		t.Helper()
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestLockHelperProcess$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"RINGROBOTS_LOCK_HELPER=1",
+			"RINGROBOTS_LOCK_PATH="+path,
+		)
+		out, err := cmd.Output()
+		code := 0
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("helper: %v", err)
+		}
+		return string(out), code
+	}
+
+	out, code := run()
+	if code != 3 || !strings.Contains(out, fmt.Sprintf("LOCKED %d", os.Getpid())) {
+		t.Fatalf("contended run: exit %d, output:\n%s", code, out)
+	}
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out, code = run()
+		if code == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("helper never acquired freed lock: exit %d, output:\n%s", code, out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(out, "HELD") {
+		t.Fatalf("freed run output:\n%s", out)
+	}
+	// The helper's append landed.
+	reopened := openT(t, path, SyncNone)
+	if last, _ := reopened.Last(); string(last) != "helper" {
+		t.Fatalf("Last after helper append = %q", last)
+	}
+}
