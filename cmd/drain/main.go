@@ -30,6 +30,16 @@
 // <dir>/pool.journal: kill -9 it and the same command recovers the
 // drain, adopting workers that are still alive. Crashed or wedged
 // workers lose their lease and are reassigned with capped backoff.
+//
+// Offline verification and repair (-fsck):
+//
+//	# read-only check: parse the journal, report damaged spans and the
+//	# records a resynchronizing scan recovers beyond them (exit 4 if damaged)
+//	go run ./cmd/drain -fsck -journal drain95.log
+//
+//	# rewrite the journal to the recovered records; damaged bytes go to
+//	# drain95.log.quarantine byte-exact before anything is discarded
+//	go run ./cmd/drain -fsck -repair -journal drain95.log
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"time"
 
 	"ringrobots/internal/drainpool"
+	"ringrobots/internal/faultfs"
 	"ringrobots/internal/feasibility"
 	"ringrobots/internal/journal"
 )
@@ -93,6 +104,42 @@ func runWorker(path string, budget, every, workers int, crashAfter int64) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// runFsck verifies a journal offline (any journal: a drain log, a
+// shard journal, a pool journal, the serve verdict store). Without
+// -repair it is read-only and lock-free — safe against a live writer,
+// exiting 4 when damage is found. With -repair it takes the journal's
+// writer lock, quarantines every damaged span byte-exact to the
+// .quarantine sidecar, and atomically rewrites the journal to exactly
+// the recovered records.
+func runFsck(path string, repair bool) {
+	rep, err := journal.Fsck(faultfs.OS{}, path)
+	if err != nil {
+		fatalf("fsck %s: %v", path, err)
+	}
+	fmt.Printf("fsck %s: %d bytes, %d records recoverable (%d in the valid prefix), %d damaged spans\n",
+		rep.Path, rep.SizeBytes, rep.Records, rep.PrefixValid, len(rep.Spans))
+	for _, sp := range rep.Spans {
+		fmt.Printf("  damaged span [%d, %d): %d bytes\n", sp.Off, sp.End, sp.End-sp.Off)
+	}
+	if rep.Clean() {
+		fmt.Println("clean")
+		return
+	}
+	if !repair {
+		fmt.Printf("damaged: %d recoverable records lie beyond the valid prefix; rerun with -repair to rewrite the journal and quarantine the damage\n", rep.Lost())
+		os.Exit(4)
+	}
+	rr, err := journal.Repair(faultfs.OS{}, path)
+	if err != nil {
+		if errors.Is(err, journal.ErrLocked) {
+			fatalf("repair %s: %v (a live writer holds the journal; stop it first)", path, err)
+		}
+		fatalf("repair %s: %v", path, err)
+	}
+	fmt.Printf("repaired: kept %d records, quarantined %d spans (%d bytes) to %s\n",
+		rr.RecordsKept, len(rr.SpansQuarantined), rr.BytesQuarantined, rr.QuarantinePath)
 }
 
 // runCoordinator drives a sharded drain, launching this same binary in
@@ -161,6 +208,8 @@ func main() {
 	tiers := flag.String("tiers", "", "comma-separated pending-move tier ladder (default: solver's 0,2)")
 	cycleCap := flag.Int("cycle-cap", 0, "max starvation-loop length (0 = solver default)")
 	crashAfter := flag.Int64("crash-after-branches", 0, "TESTING: SIGKILL this process after that many processed branches")
+	fsck := flag.Bool("fsck", false, "verify the journal offline (-journal) and report damage; exits 4 if damaged and not repaired")
+	repair := flag.Bool("repair", false, "with -fsck: quarantine damaged spans to <journal>.quarantine and rewrite the journal to the recovered records")
 	worker := flag.Bool("worker", false, "run as a drain-pool worker for one shard journal (-journal); shard identity comes from the journal")
 	shards := flag.Int("shards", 0, "run as a drain-pool coordinator partitioning the frontier into this many leased shards (requires -journal-dir)")
 	journalDir := flag.String("journal-dir", "", "coordinator journal directory (pool.journal plus per-shard journals); share it to distribute workers")
@@ -173,6 +222,15 @@ func main() {
 	// Fail fast with every flag problem at once, not first-error-wins.
 	var errs []error
 	switch {
+	case *fsck:
+		if *worker || *shards > 0 {
+			errs = append(errs, errors.New("-fsck conflicts with -worker and -shards: it verifies one journal offline"))
+		}
+		if *journalPath == "" {
+			errs = append(errs, errors.New("-fsck requires -journal (the journal to verify)"))
+		}
+	case *repair:
+		errs = append(errs, errors.New("-repair requires -fsck"))
 	case *worker && *shards > 0:
 		errs = append(errs, errors.New("-worker and -shards are mutually exclusive"))
 	case *worker:
@@ -232,6 +290,10 @@ func main() {
 		fatalf("invalid flags:\n%v", errors.Join(errs...))
 	}
 
+	if *fsck {
+		runFsck(*journalPath, *repair)
+		return
+	}
 	if *worker {
 		runWorker(*journalPath, *budget, *every, *workers, *crashAfter)
 		return
@@ -247,6 +309,9 @@ func main() {
 	}
 	log, err := journal.Open(*journalPath, policy)
 	if err != nil {
+		if errors.Is(err, journal.ErrCorrupt) {
+			fatalf("open journal: %v\nrun `drain -fsck -journal %s` to inspect, `-fsck -repair` to quarantine the damage and recover the records beyond it", err, *journalPath)
+		}
 		fatalf("open journal: %v", err)
 	}
 	defer log.Close()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -41,7 +42,31 @@ const (
 	max429Attempts   = 5
 	retryBackoffBase = 100 * time.Millisecond
 	retryBackoffCap  = 5 * time.Second
+	// retryWallClockCap bounds the TOTAL time one request may spend
+	// waiting between 429 retries, on top of the attempt cap: a server
+	// advertising long Retry-After values could otherwise pin a worker
+	// on a single query for max429Attempts × Retry-After.
+	retryWallClockCap = 30 * time.Second
 )
+
+// shouldRetry429 decides whether to wait d and re-send after the
+// attempt-th try of one request, given the wall-clock already elapsed
+// since that request's first send. Pure, so the retry-budget policy is
+// testable without a server.
+func shouldRetry429(attempt int, elapsed, d time.Duration) bool {
+	return attempt < max429Attempts && elapsed+d <= retryWallClockCap
+}
+
+// sleepCtx waits d unless ctx is canceled first, reporting whether the
+// full wait happened — retry sleeps must not outlive an interrupt.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
 
 // retryDelay picks the wait before attempt+1: the server's Retry-After
 // seconds when given, else base·2^(attempt-1) plus up to 50% jitter,
@@ -84,7 +109,7 @@ func sampleQueryMix(seed int64, requests int) []loadQuery {
 	return qs
 }
 
-func runLoadgen(target string, seed int64, requests, concurrency, budget int) error {
+func runLoadgen(ctx context.Context, target string, seed int64, requests, concurrency, budget int) error {
 	qs := sampleQueryMix(seed, requests)
 	client := &http.Client{Timeout: 2 * time.Minute}
 
@@ -112,21 +137,40 @@ func runLoadgen(target string, seed int64, requests, concurrency, budget int) er
 					url += fmt.Sprintf("&budget=%d", b)
 				}
 				var o outcome
+				first := time.Now()
 				for attempt := 1; ; attempt++ {
-					start := time.Now()
-					resp, err := client.Get(url)
-					lat := time.Since(start)
+					req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
 					if err != nil {
-						o.status, o.latency, o.err = "transport-error", lat, err
+						o.status, o.err = "transport-error", err
 						break
 					}
-					if resp.StatusCode == http.StatusTooManyRequests && attempt < max429Attempts {
-						retryAfter := resp.Header.Get("Retry-After")
-						io.Copy(io.Discard, resp.Body)
-						resp.Body.Close()
-						o.retries++
-						time.Sleep(retryDelay(retryAfter, attempt, rng))
-						continue
+					start := time.Now()
+					resp, err := client.Do(req)
+					lat := time.Since(start)
+					if err != nil {
+						// An interrupt mid-request is cancellation, not a
+						// server failure — don't fail the run over it.
+						if ctx.Err() != nil {
+							o.status, o.latency = "canceled", lat
+						} else {
+							o.status, o.latency, o.err = "transport-error", lat, err
+						}
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						d := retryDelay(resp.Header.Get("Retry-After"), attempt, rng)
+						if shouldRetry429(attempt, time.Since(first), d) {
+							io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+							o.retries++
+							if !sleepCtx(ctx, d) {
+								o.status, o.latency = "canceled", lat
+								break
+							}
+							continue
+						}
+						// Attempt or retry-wall-clock budget exhausted:
+						// fall through and record the 429 body as final.
 					}
 					var body service.SolveBody
 					decErr := json.NewDecoder(resp.Body).Decode(&body)
@@ -142,12 +186,23 @@ func runLoadgen(target string, seed int64, requests, concurrency, budget int) er
 			}
 		}(w)
 	}
+	sent := len(qs)
+dispatch:
 	for i := range qs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			sent = i
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	// Requests an interrupt kept from ever being dispatched.
+	for i := sent; i < len(qs); i++ {
+		outcomes[i] = outcome{status: "canceled"}
+	}
 
 	counts := map[string]int{}
 	lats := make([]time.Duration, 0, requests)
@@ -156,7 +211,9 @@ func runLoadgen(target string, seed int64, requests, concurrency, budget int) er
 	for _, o := range outcomes {
 		counts[o.status]++
 		retries += o.retries
-		lats = append(lats, o.latency)
+		if o.latency > 0 { // never-sent canceled requests carry no latency
+			lats = append(lats, o.latency)
+		}
 		if o.err != nil && worstErr == nil {
 			worstErr = o.err
 		}
@@ -181,9 +238,17 @@ func runLoadgen(target string, seed int64, requests, concurrency, budget int) er
 	for _, s := range statuses {
 		fmt.Printf("  %-16s %d\n", s, counts[s])
 	}
-	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	if len(lats) > 0 {
+		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if ctx.Err() != nil {
+		// Interrupted: the per-request counts above are the report;
+		// don't block exit on a /metricz round-trip.
+		fmt.Println("interrupted; skipping /metricz")
+		return ctx.Err()
+	}
 
 	// The server's own accounting closes the loop: how many of those
 	// requests one solve answered, and what was suspended or shed.

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -63,7 +65,7 @@ func TestLoadgenRetriesShedRequests(t *testing.T) {
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
-	if err := runLoadgen(srv.URL, 1, 8, 2, 0); err != nil {
+	if err := runLoadgen(context.Background(), srv.URL, 1, 8, 2, 0); err != nil {
 		t.Fatalf("loadgen against 429-then-200 server: %v", err)
 	}
 	mu.Lock()
@@ -72,5 +74,58 @@ func TestLoadgenRetriesShedRequests(t *testing.T) {
 		if n < 2 {
 			t.Fatalf("query %q was never retried after its 429", q)
 		}
+	}
+}
+
+// TestRetryBudgetCapsWallClock pins the pure retry policy: attempts
+// are capped, and so is the total wall-clock a request may burn in
+// retry sleeps — however generous the server's Retry-After hints.
+func TestRetryBudgetCapsWallClock(t *testing.T) {
+	if shouldRetry429(max429Attempts, 0, time.Millisecond) {
+		t.Fatal("retry allowed past the attempt cap")
+	}
+	if !shouldRetry429(1, 0, time.Second) {
+		t.Fatal("first cheap retry refused")
+	}
+	if shouldRetry429(2, retryWallClockCap, time.Millisecond) {
+		t.Fatal("retry allowed after the wall-clock budget is spent")
+	}
+	// The budget counts the upcoming sleep too: a 5s Retry-After with
+	// 26s already elapsed would land past the cap.
+	if shouldRetry429(2, retryWallClockCap-4*time.Second, 5*time.Second) {
+		t.Fatal("retry allowed when the next sleep overshoots the budget")
+	}
+	if !shouldRetry429(2, retryWallClockCap-6*time.Second, 5*time.Second) {
+		t.Fatal("retry refused with budget left for the next sleep")
+	}
+}
+
+// TestLoadgenCancellationInterruptsRetries stands up a server that
+// ALWAYS 429s with a long Retry-After, cancels mid-run, and requires a
+// prompt return: retry sleeps, in-flight requests, and undispatched
+// queries must all observe the cancellation instead of serving out
+// their backoff.
+func TestLoadgenCancellationInterruptsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(service.SolveBody{Status: "shed", RetryAfterSec: 2})
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := runLoadgen(ctx, srv.URL, 1, 32, 2, 0)
+	elapsed := time.Since(start)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled loadgen returned %v, want context.Canceled", err)
+	}
+	// Well under one 2s Retry-After sleep, let alone 32 requests' worth.
+	if elapsed > time.Second {
+		t.Fatalf("canceled loadgen took %v to return — retries outlived the context", elapsed)
 	}
 }

@@ -24,12 +24,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ringrobots"
@@ -115,7 +118,11 @@ func main() {
 	}
 
 	if *target != "" {
-		if err := runLoadgen(*target, *seed, *requests, *concurrency, *budget); err != nil {
+		// SIGINT/SIGTERM cancel the load run promptly: in-flight requests
+		// and retry sleeps are interrupted, pending ones never sent.
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := runLoadgen(ctx, *target, *seed, *requests, *concurrency, *budget); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -15,6 +15,15 @@
 // SIGINT/SIGTERM drain: new requests get 503, queued ones a retryable
 // 503, in-flight solves suspend through the checkpoint path and answer
 // 202; the process exits 0 once every accepted request was answered.
+//
+// Storage failure (ENOSPC, I/O errors, a failed fsync) flips the
+// service to sticky degraded read-only mode rather than killing it:
+// cached verdicts still answer 200, anything needing a store write gets
+// 503 with Retry-After, and /healthz reports "degraded: <reason>" until
+// an operator fixes the storage and restarts. A store journal that was
+// corrupted while the service was down refuses to open; run
+// `drain -fsck -repair -journal <store>` to quarantine the damage and
+// recover every intact record before restarting.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"ringrobots/internal/journal"
 	"ringrobots/internal/service"
 )
 
@@ -74,7 +84,12 @@ func main() {
 
 	svc, err := service.New(cfg)
 	if err != nil {
-		logger.Error("startup failed", "err", err)
+		if errors.Is(err, journal.ErrCorrupt) {
+			logger.Error("startup failed: store journal is corrupt mid-file; refusing to truncate recoverable records",
+				"err", err, "hint", fmt.Sprintf("run `drain -fsck -repair -journal %s` to quarantine the damage and recover, then restart", *store))
+		} else {
+			logger.Error("startup failed", "err", err)
+		}
 		os.Exit(1)
 	}
 

@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	"ringrobots/internal/faultfs"
 	"ringrobots/internal/feasibility"
 	"ringrobots/internal/journal"
 )
@@ -34,6 +35,9 @@ type WorkerOptions struct {
 	CrashAfterBranches int64
 	// Logf receives progress lines (nil: silent).
 	Logf func(format string, args ...any)
+	// FS is the filesystem seam the shard journal goes through; nil
+	// means the real OS. Testing and storage fault injection only.
+	FS faultfs.FS
 }
 
 // RunShard executes one leased shard: open the shard journal (taking
@@ -44,12 +48,27 @@ type WorkerOptions struct {
 // immediately without recomputing, and a crashed attempt's periodic
 // checkpoints let the next attempt resume mid-shard instead of
 // restarting.
+//
+// Storage failure surrenders the lease instead of wedging: if a
+// heartbeat or checkpoint append fails, the solve is cancelled, the
+// journal closed (releasing the flock — the cross-machine-visible
+// lease token, which a coordinator pid-kill could never reclaim from
+// another host), and RunShard returns the error; the coordinator's
+// normal liveness expiry then reassigns the shard. The terminal
+// result append is retried a few times with backoff (transient
+// ENOSPC-style errors are rolled back by the journal and safe to
+// retry), except after a sticky fsync failure, where no append on
+// this handle can succeed.
 func RunShard(ctx context.Context, journalPath string, opt WorkerOptions) error {
 	logf := opt.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	log, err := journal.Open(journalPath, journal.SyncAlways)
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	log, err := journal.OpenFS(fsys, journalPath, journal.SyncAlways)
 	if err != nil {
 		return err
 	}
@@ -114,6 +133,21 @@ func RunShard(ctx context.Context, journalPath string, opt WorkerOptions) error 
 		defer mu.Unlock()
 		return log.Append(p)
 	}
+	// Storage-failure surrender: the first failed append cancels the
+	// solve so the worker gives the lease back promptly instead of
+	// burning it on a solve whose progress can no longer be journaled.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var failMu sync.Mutex
+	var storageErr error
+	noteStorageFailure := func(err error) {
+		failMu.Lock()
+		if storageErr == nil {
+			storageErr = err
+		}
+		failMu.Unlock()
+		cancelRun()
+	}
 	if opt.CheckpointEvery > 0 {
 		s.CheckpointEvery = opt.CheckpointEvery
 		s.OnCheckpoint = func(cp *feasibility.Checkpoint) error {
@@ -121,7 +155,11 @@ func RunShard(ctx context.Context, journalPath string, opt WorkerOptions) error 
 			if err != nil {
 				return err
 			}
-			return appendRec(encShardCkpt(raw))
+			if err := appendRec(encShardCkpt(raw)); err != nil {
+				noteStorageFailure(err)
+				return err
+			}
+			return nil
 		}
 	}
 	if opt.CrashAfterBranches > 0 {
@@ -150,15 +188,30 @@ func RunShard(ctx context.Context, journalPath string, opt WorkerOptions) error 
 				// The append itself is the liveness signal: the
 				// coordinator's lease extends only on journal growth, so a
 				// wedged process that merely stays alive still loses its
-				// lease.
-				appendRec([]byte{recShardBeat})
+				// lease. A failed beat means this worker can no longer
+				// prove liveness OR journal progress — surrender.
+				if err := appendRec([]byte{recShardBeat}); err != nil {
+					logf("shard heartbeat append failed, surrendering lease: %v", err)
+					noteStorageFailure(err)
+					return
+				}
 			}
 		}
 	}()
 
-	res, cp, err := s.Resume(ctx, ck)
+	res, cp, err := s.Resume(runCtx, ck)
 	close(stop)
 	hbWG.Wait()
+
+	failMu.Lock()
+	serr := storageErr
+	failMu.Unlock()
+	if serr != nil {
+		// The defer closes the journal, releasing the flock: the lease
+		// is surrendered and the coordinator's liveness expiry will
+		// reassign this shard (resuming from the last good checkpoint).
+		return fmt.Errorf("drainpool: shard %d surrendering lease: journal append failed: %w", shard, serr)
+	}
 
 	r := feasibility.ShardResult{Shard: shard, Counters: res}
 	r.Counters.SurvivorTable = nil
@@ -182,8 +235,23 @@ func RunShard(ctx context.Context, journalPath string, opt WorkerOptions) error 
 	if err != nil {
 		return err
 	}
-	if err := appendRec(encShardDone(raw)); err != nil {
-		return err
+	// The terminal record is worth a few retries: journal write errors
+	// are rolled back (no torn bytes), so re-appending is safe — but a
+	// sticky fsync failure (journal.ErrFailed) can never succeed on
+	// this handle, so surrender immediately there.
+	doneRec := encShardDone(raw)
+	var aerr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if aerr = appendRec(doneRec); aerr == nil {
+			break
+		}
+		if errors.Is(aerr, journal.ErrFailed) {
+			break
+		}
+		time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+	}
+	if aerr != nil {
+		return fmt.Errorf("drainpool: shard %d surrendering lease: journal append failed: %w", shard, aerr)
 	}
 	switch {
 	case r.Refuted:

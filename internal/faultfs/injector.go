@@ -1,0 +1,307 @@
+package faultfs
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Op identifies a kind of file operation for fault scheduling. Write
+// and Sync are counted per-injector (across all files), so "fail the
+// 3rd sync" means the 3rd sync anywhere under this injector.
+type Op int
+
+const (
+	OpOpen Op = iota
+	OpRead
+	OpWrite
+	OpSync
+	OpTruncate
+	OpRename
+	OpRemove
+	opMax
+)
+
+var opNames = [...]string{"open", "read", "write", "sync", "truncate", "rename", "remove"}
+
+func (o Op) String() string {
+	if o >= 0 && int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Kind is the flavor of an injected fault.
+type Kind int
+
+const (
+	// FaultErr: the operation fails with Err and has no effect.
+	FaultErr Kind = iota
+	// FaultShortWrite: only the first half of the buffer (at least one
+	// byte) reaches the file, then the write reports Err — the torn
+	// write every journal must roll back from.
+	FaultShortWrite
+	// FaultBitFlip: the operation "succeeds" but one bit of the buffer
+	// is flipped on its way to the file — latent corruption that only
+	// CRC validation or scavenge will ever notice.
+	FaultBitFlip
+)
+
+// Fault describes one scheduled injection.
+type Fault struct {
+	Kind Kind
+	Err  error
+}
+
+// ENOSPC returns a disk-full write error fault.
+func ENOSPC() Fault { return Fault{Kind: FaultErr, Err: syscall.ENOSPC} }
+
+// EIO returns a generic I/O error fault.
+func EIO() Fault { return Fault{Kind: FaultErr, Err: syscall.EIO} }
+
+// ShortWrite returns a fault that tears the write in half before
+// failing with ENOSPC.
+func ShortWrite() Fault { return Fault{Kind: FaultShortWrite, Err: syscall.ENOSPC} }
+
+// BitFlip returns a fault that silently corrupts one bit of the
+// written buffer. Which bit is chosen by the injector's seeded RNG,
+// so runs are reproducible given the same seed and op sequence.
+func BitFlip() Fault { return Fault{Kind: FaultBitFlip} }
+
+// Injector wraps an FS and fails scheduled operations
+// deterministically. The zero schedule passes everything through.
+// All methods are safe for concurrent use.
+type Injector struct {
+	fs FS
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts [opMax]int
+	sched  map[Op]map[int]Fault // op -> 1-based op index -> fault
+
+	// synced[path] is the file size as of the last successful Sync
+	// (or the size at Open, for pre-existing data assumed durable).
+	// CrashUnsynced truncates every tracked file back to it.
+	synced map[string]int64
+}
+
+// NewInjector wraps fs with a deterministic injector seeded with seed.
+func NewInjector(fs FS, seed int64) *Injector {
+	return &Injector{
+		fs:     fs,
+		rng:    rand.New(rand.NewSource(seed)),
+		sched:  make(map[Op]map[int]Fault),
+		synced: make(map[string]int64),
+	}
+}
+
+// FailNth schedules fault for the nth (1-based) operation of kind op
+// counted from the injector's creation. Scheduling is one-shot: the
+// fault fires once and is consumed.
+func (in *Injector) FailNth(op Op, n int, f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m := in.sched[op]
+	if m == nil {
+		m = make(map[int]Fault)
+		in.sched[op] = m
+	}
+	m[n] = f
+}
+
+// Count reports how many operations of kind op have been issued so
+// far (including failed ones).
+func (in *Injector) Count(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// next bumps the op counter and returns the fault to apply, if any.
+func (in *Injector) next(op Op) (Fault, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	f, ok := in.sched[op][in.counts[op]]
+	if ok {
+		delete(in.sched[op], in.counts[op])
+	}
+	return f, ok
+}
+
+// CrashUnsynced presents the crash-consistent view: every file this
+// injector has opened or created is truncated back to its size at the
+// last successful Sync, discarding writes the OS never promised were
+// durable. The model is append-only (matching the journal): a crash
+// loses the unsynced tail, it does not resurrect overwritten bytes.
+func (in *Injector) CrashUnsynced() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for path, size := range in.synced {
+		if err := os.Truncate(path, size); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("faultfs: crash truncate %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f, ok := in.next(OpOpen); ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: f.Err}
+	}
+	file, err := in.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	in.track(file)
+	return &injFile{in: in, f: file}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if f, ok := in.next(OpOpen); ok {
+		return nil, &os.PathError{Op: "open", Path: pattern, Err: f.Err}
+	}
+	file, err := in.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	in.track(file)
+	return &injFile{in: in, f: file}, nil
+}
+
+// track baselines the synced size of a newly opened file: whatever is
+// on disk at open time is assumed durable.
+func (in *Injector) track(file File) {
+	size := int64(0)
+	if fi, err := in.fs.Stat(file.Name()); err == nil {
+		size = fi.Size()
+	}
+	in.mu.Lock()
+	if _, ok := in.synced[file.Name()]; !ok {
+		in.synced[file.Name()] = size
+	}
+	in.mu.Unlock()
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if f, ok := in.next(OpRead); ok {
+		return nil, &os.PathError{Op: "read", Path: name, Err: f.Err}
+	}
+	return in.fs.ReadFile(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f, ok := in.next(OpRename); ok {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: f.Err}
+	}
+	if err := in.fs.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	if size, ok := in.synced[oldpath]; ok {
+		in.synced[newpath] = size
+		delete(in.synced, oldpath)
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) Remove(name string) error {
+	if f, ok := in.next(OpRemove); ok {
+		return &os.PathError{Op: "remove", Path: name, Err: f.Err}
+	}
+	if err := in.fs.Remove(name); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	delete(in.synced, name)
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) { return in.fs.Stat(name) }
+
+// injFile intercepts the per-file operations.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injFile) Name() string { return jf.f.Name() }
+
+func (jf *injFile) Read(p []byte) (int, error) {
+	if f, ok := jf.in.next(OpRead); ok {
+		return 0, &os.PathError{Op: "read", Path: jf.f.Name(), Err: f.Err}
+	}
+	return jf.f.Read(p)
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	f, ok := jf.in.next(OpWrite)
+	if !ok {
+		return jf.f.Write(p)
+	}
+	switch f.Kind {
+	case FaultShortWrite:
+		n := len(p) / 2
+		if n == 0 && len(p) > 0 {
+			n = 1
+		}
+		wrote, err := jf.f.Write(p[:n])
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, &os.PathError{Op: "write", Path: jf.f.Name(), Err: f.Err}
+	case FaultBitFlip:
+		if len(p) == 0 {
+			return jf.f.Write(p)
+		}
+		corrupt := make([]byte, len(p))
+		copy(corrupt, p)
+		jf.in.mu.Lock()
+		bit := jf.in.rng.Intn(len(p) * 8)
+		jf.in.mu.Unlock()
+		corrupt[bit/8] ^= 1 << (bit % 8)
+		n, err := jf.f.Write(corrupt)
+		if n > len(p) {
+			n = len(p)
+		}
+		return n, err
+	default:
+		return 0, &os.PathError{Op: "write", Path: jf.f.Name(), Err: f.Err}
+	}
+}
+
+func (jf *injFile) Seek(offset int64, whence int) (int64, error) {
+	return jf.f.Seek(offset, whence)
+}
+
+func (jf *injFile) Truncate(size int64) error {
+	if f, ok := jf.in.next(OpTruncate); ok {
+		return &os.PathError{Op: "truncate", Path: jf.f.Name(), Err: f.Err}
+	}
+	return jf.f.Truncate(size)
+}
+
+func (jf *injFile) Sync() error {
+	if f, ok := jf.in.next(OpSync); ok {
+		return &os.PathError{Op: "sync", Path: jf.f.Name(), Err: f.Err}
+	}
+	if err := jf.f.Sync(); err != nil {
+		return err
+	}
+	// A successful sync makes the current on-disk size durable.
+	if fi, err := jf.in.fs.Stat(jf.f.Name()); err == nil {
+		jf.in.mu.Lock()
+		jf.in.synced[jf.f.Name()] = fi.Size()
+		jf.in.mu.Unlock()
+	}
+	return nil
+}
+
+func (jf *injFile) Close() error { return jf.f.Close() }

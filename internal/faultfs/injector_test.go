@@ -1,0 +1,165 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, p []byte) error {
+	t.Helper()
+	_, err := f.Write(p)
+	return err
+}
+
+func TestFailNthWrite(t *testing.T) {
+	in := NewInjector(OS{}, 1)
+	in.FailNth(OpWrite, 2, ENOSPC())
+	f, err := in.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := writeAll(t, f, []byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	err = writeAll(t, f, []byte("two"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2 = %v, want ENOSPC", err)
+	}
+	if err := writeAll(t, f, []byte("three")); err != nil {
+		t.Fatalf("write 3 (fault is one-shot): %v", err)
+	}
+	if got := in.Count(OpWrite); got != 3 {
+		t.Fatalf("Count(OpWrite) = %d, want 3", got)
+	}
+	// The failed write had no effect on the file.
+	buf, _ := os.ReadFile(f.Name())
+	if string(buf) != "onethree" {
+		t.Fatalf("file = %q, want onethree", buf)
+	}
+}
+
+func TestShortWriteTears(t *testing.T) {
+	in := NewInjector(OS{}, 1)
+	in.FailNth(OpWrite, 1, ShortWrite())
+	f, err := in.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5 (half)", n)
+	}
+	buf, _ := os.ReadFile(f.Name())
+	if string(buf) != "01234" {
+		t.Fatalf("file = %q, want torn half", buf)
+	}
+}
+
+func TestBitFlipCorruptsSilently(t *testing.T) {
+	in := NewInjector(OS{}, 42)
+	in.FailNth(OpWrite, 1, BitFlip())
+	f, err := in.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := bytes.Repeat([]byte{0x00}, 64)
+	n, err := f.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("bit-flip write must report success, got n=%d err=%v", n, err)
+	}
+	buf, _ := os.ReadFile(f.Name())
+	diff := 0
+	for i := range buf {
+		if buf[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1 (one flipped bit)", diff)
+	}
+	// Same seed, same op sequence: same bit.
+	in2 := NewInjector(OS{}, 42)
+	in2.FailNth(OpWrite, 1, BitFlip())
+	f2, _ := in2.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	defer f2.Close()
+	f2.Write(payload)
+	buf2, _ := os.ReadFile(f2.Name())
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("same seed flipped a different bit")
+	}
+}
+
+func TestCrashUnsyncedDropsTail(t *testing.T) {
+	in := NewInjector(OS{}, 1)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("-volatile"))
+	if err := in.CrashUnsynced(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	buf, _ := os.ReadFile(path)
+	if string(buf) != "durable" {
+		t.Fatalf("after crash: %q, want only the synced prefix", buf)
+	}
+}
+
+func TestCrashUnsyncedFollowsRename(t *testing.T) {
+	in := NewInjector(OS{}, 1)
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "tmp")
+	final := filepath.Join(dir, "final")
+	f, err := in.OpenFile(tmp, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("snapshot"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := in.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CrashUnsynced(); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := os.ReadFile(final)
+	if string(buf) != "snapshot" {
+		t.Fatalf("renamed file after crash: %q", buf)
+	}
+}
+
+func TestFailNthSyncAndOpen(t *testing.T) {
+	in := NewInjector(OS{}, 1)
+	in.FailNth(OpSync, 1, EIO())
+	in.FailNth(OpOpen, 2, ENOSPC())
+	f, err := in.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync = %v, want EIO", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(t.TempDir(), "g"), os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("open 2 = %v, want ENOSPC", err)
+	}
+}

@@ -12,6 +12,27 @@
 // (torn tail), declares an implausible length, or fails its checksum.
 // Everything before that point is intact by construction, so a crash
 // mid-append loses at most the record being written.
+//
+// Failure semantics (see scavenge.go for repair):
+//
+//   - A failed or short Append write is rolled back — the file is
+//     truncated to the pre-append size — so one failed append never
+//     poisons later successful appends under prefix recovery. The log
+//     stays usable; only a failed rollback makes it sticky-failed.
+//   - A failed Sync makes the log sticky-failed: after fsync reports
+//     an error the page-cache state is unknown and retrying fsync on
+//     the same fd can report success without making the data durable,
+//     so every later operation returns ErrFailed and the caller must
+//     reopen (which re-validates against what actually hit disk).
+//   - Open distinguishes a torn tail (no valid records past the
+//     damage: truncated silently, as before) from mid-file corruption
+//     (valid records recoverable past the damage: Open refuses with a
+//     CorruptError instead of silently discarding them — run Repair /
+//     `drain -fsck -repair` to scavenge and quarantine).
+//
+// All file I/O goes through a faultfs.FS seam (OpenFS), so every one
+// of these paths is exercised by deterministic fault injection; the
+// advisory flock sidecar intentionally stays on the real OS.
 package journal
 
 import (
@@ -22,11 +43,43 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
+
+	"ringrobots/internal/faultfs"
 )
 
 // ErrLocked is the sentinel wrapped by LockedError: another process
 // holds the journal's advisory writer lock. Match it with errors.Is.
 var ErrLocked = errors.New("journal: locked by another process")
+
+// ErrFailed is the sticky failure sentinel: a Sync error (or a failed
+// append rollback) has left the log in an unknown durable state, and
+// every subsequent Append/Sync/Compact returns an error matching this
+// until the log is reopened. Match it with errors.Is.
+var ErrFailed = errors.New("journal: log failed, reopen required")
+
+// ErrCorrupt is the sentinel wrapped by CorruptError: the journal has
+// valid records AFTER a damaged region, so prefix recovery would
+// silently discard live data. Match it with errors.Is.
+var ErrCorrupt = errors.New("journal: mid-file corruption")
+
+// CorruptError reports mid-file corruption found by Open: the valid
+// prefix ends at ValidBytes, but Recoverable more records are intact
+// beyond the damage. Open refuses to truncate them away; run Repair
+// (or `drain -fsck -repair`) to scavenge them and quarantine the
+// damaged span.
+type CorruptError struct {
+	Path        string
+	ValidBytes  int64 // length of the clean prefix
+	Recoverable int   // valid records found beyond the damage
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: %s: mid-file corruption after byte %d with %d recoverable record(s) beyond it; run repair (drain -fsck -repair) instead of truncating",
+		e.Path, e.ValidBytes, e.Recoverable)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 
 // LockedError reports a failed lock acquisition, with the pid the
 // current holder recorded in the sidecar (0 when unreadable).
@@ -74,12 +127,14 @@ const (
 // Log is an open journal file positioned for appending.
 type Log struct {
 	path   string
-	f      *os.File
+	fsys   faultfs.FS
+	f      faultfs.File
 	lock   *os.File // sidecar holding the advisory flock, nil on non-unix
 	policy SyncPolicy
 	n      int
 	size   int64
 	last   []byte // copy of the latest record's payload, nil when empty
+	failed error  // sticky failure; non-nil wraps ErrFailed
 }
 
 // AppendRecord appends the encoded form of one record (header +
@@ -93,6 +148,26 @@ func AppendRecord(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// recordAt decodes the record starting at off in buf. It returns the
+// payload (aliasing buf), the record's total encoded size, and whether
+// a fully-valid record starts there. It is the single decoder shared
+// by Scan and ScavengeBytes.
+func recordAt(buf []byte, off int) (payload []byte, size int, ok bool) {
+	if len(buf)-off < headerSize {
+		return nil, 0, false
+	}
+	length := binary.LittleEndian.Uint32(buf[off:])
+	if length > MaxRecordLen || int(length) > len(buf)-off-headerSize {
+		return nil, 0, false
+	}
+	sum := binary.LittleEndian.Uint32(buf[off+4:])
+	payload = buf[off+headerSize : off+headerSize+int(length)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, false
+	}
+	return payload, headerSize + int(length), true
+}
+
 // Scan parses buf as a record log: it returns the payloads of the
 // leading fully-valid records and the byte length of that valid prefix.
 // The returned slices alias buf. Scan never fails — a corrupt or torn
@@ -101,37 +176,38 @@ func AppendRecord(dst, payload []byte) []byte {
 func Scan(buf []byte) (recs [][]byte, valid int) {
 	off := 0
 	for {
-		if len(buf)-off < headerSize {
-			return recs, off
-		}
-		length := binary.LittleEndian.Uint32(buf[off:])
-		if length > MaxRecordLen || int(length) > len(buf)-off-headerSize {
-			return recs, off
-		}
-		sum := binary.LittleEndian.Uint32(buf[off+4:])
-		payload := buf[off+headerSize : off+headerSize+int(length)]
-		if crc32.ChecksumIEEE(payload) != sum {
+		payload, size, ok := recordAt(buf, off)
+		if !ok {
 			return recs, off
 		}
 		recs = append(recs, payload)
-		off += headerSize + int(length)
+		off += size
 	}
 }
 
-// Open opens (creating if absent) the journal at path, recovers its
-// valid prefix, truncates any torn or corrupt tail, and positions the
-// log for appending. Open takes the journal's advisory writer lock
-// (an flock on the path+".lock" sidecar); when another live process
-// holds it, Open fails with a LockedError matching ErrLocked, naming
-// the holder's pid. The lock dies with the process, so a crashed
-// writer never needs manual cleanup. Lock-free readers (Scan over
-// os.ReadFile) are unaffected.
+// Open opens the journal at path over the real filesystem; see OpenFS.
 func Open(path string, policy SyncPolicy) (*Log, error) {
+	return OpenFS(faultfs.OS{}, path, policy)
+}
+
+// OpenFS opens (creating if absent) the journal at path through fsys,
+// recovers its valid prefix, truncates any torn tail, and positions
+// the log for appending. When valid records survive BEYOND a damaged
+// region — mid-file corruption, where truncation would silently
+// discard live data — OpenFS refuses with a CorruptError (matching
+// ErrCorrupt) instead; run Repair to scavenge. OpenFS takes the
+// journal's advisory writer lock (an flock on the path+".lock"
+// sidecar, always on the real OS); when another live process holds
+// it, OpenFS fails with a LockedError matching ErrLocked, naming the
+// holder's pid. The lock dies with the process, so a crashed writer
+// never needs manual cleanup. Lock-free readers (Scan over
+// os.ReadFile) are unaffected.
+func OpenFS(fsys faultfs.FS, path string, policy SyncPolicy) (*Log, error) {
 	lock, err := acquireLock(path)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		releaseLock(lock)
 		return nil, err
@@ -147,6 +223,16 @@ func Open(path string, policy SyncPolicy) (*Log, error) {
 	}
 	recs, valid := Scan(buf)
 	if valid < len(buf) {
+		// Damage. Torn tail (nothing valid beyond it) is the normal
+		// crash signature and is truncated away; recoverable records
+		// beyond the damage mean truncation would lose live data.
+		if sc := ScavengeBytes(buf); len(sc.Records) > len(recs) {
+			return fail(&CorruptError{
+				Path:        path,
+				ValidBytes:  int64(valid),
+				Recoverable: len(sc.Records) - len(recs),
+			})
+		}
 		if err := f.Truncate(int64(valid)); err != nil {
 			return fail(fmt.Errorf("journal: truncating torn tail of %s: %w", path, err))
 		}
@@ -159,7 +245,7 @@ func Open(path string, policy SyncPolicy) (*Log, error) {
 	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
 		return fail(err)
 	}
-	l := &Log{path: path, f: f, lock: lock, policy: policy, n: len(recs), size: int64(valid)}
+	l := &Log{path: path, fsys: fsys, f: f, lock: lock, policy: policy, n: len(recs), size: int64(valid)}
 	if len(recs) > 0 {
 		l.last = append([]byte(nil), recs[len(recs)-1]...)
 	}
@@ -175,6 +261,17 @@ func (l *Log) Len() int { return l.n }
 // Size returns the byte length of the log's valid prefix.
 func (l *Log) Size() int64 { return l.size }
 
+// Failed returns the sticky failure error (nil while the log is
+// healthy). Once non-nil, every mutation returns it until reopen.
+func (l *Log) Failed() error { return l.failed }
+
+// fail marks the log sticky-failed with cause and returns the wrapped
+// error callers see.
+func (l *Log) fail(cause error) error {
+	l.failed = fmt.Errorf("%w: %s: %w", ErrFailed, l.path, cause)
+	return l.failed
+}
+
 // Last returns a copy-safe view of the most recent record's payload
 // (nil, false when the log is empty). The returned slice must not be
 // modified.
@@ -188,14 +285,41 @@ func (l *Log) Last() ([]byte, bool) {
 // Append writes one record. Under SyncAlways the record is on stable
 // storage when Append returns; under SyncNone a crash may lose it (and
 // recovery will truncate any torn half-write).
+//
+// On a write error Append rolls the file back to the pre-append size,
+// so a failed append leaves no torn bytes to poison later appends: the
+// log remains usable and the error is transient (retryable). Only when
+// the rollback itself fails, or when Sync fails, does the log become
+// sticky-failed (ErrFailed).
 func (l *Log) Append(payload []byte) error {
+	if l.failed != nil {
+		return l.failed
+	}
 	rec := AppendRecord(make([]byte, 0, headerSize+len(payload)), payload)
-	if _, err := l.f.Write(rec); err != nil {
-		return fmt.Errorf("journal: appending to %s: %w", l.path, err)
+	n, err := l.f.Write(rec)
+	if err == nil && n < len(rec) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		if n > 0 {
+			// Remove the torn bytes and reposition the write offset to
+			// the rollback point (truncate alone does not move the
+			// offset; a later write past EOF would leave a NUL hole).
+			if terr := l.f.Truncate(l.size); terr != nil {
+				return l.fail(fmt.Errorf("append failed (%v) and rollback truncate failed: %w", err, terr))
+			}
+			if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+				return l.fail(fmt.Errorf("append failed (%v) and rollback seek failed: %w", err, serr))
+			}
+		}
+		return fmt.Errorf("journal: appending to %s (rolled back): %w", l.path, err)
 	}
 	if l.policy == SyncAlways {
 		if err := l.f.Sync(); err != nil {
-			return err
+			// fsyncgate: after a failed fsync the kernel may have
+			// dropped the dirty pages and a retry can "succeed" without
+			// persisting anything. Never retry on this fd.
+			return l.fail(fmt.Errorf("fsync after append: %w", err))
 		}
 	}
 	l.n++
@@ -205,12 +329,22 @@ func (l *Log) Append(payload []byte) error {
 }
 
 // Sync flushes pending appends to stable storage regardless of policy.
-func (l *Log) Sync() error { return l.f.Sync() }
+// A Sync failure is sticky (see Append): the log refuses further use
+// until reopened.
+func (l *Log) Sync() error {
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.fail(fmt.Errorf("fsync: %w", err))
+	}
+	return nil
+}
 
 // ForEach replays every valid record from the start of the log in
 // order. The payload slice passed to fn is only valid for the call.
 func (l *Log) ForEach(fn func(payload []byte) error) error {
-	buf, err := os.ReadFile(l.path)
+	buf, err := l.fsys.ReadFile(l.path)
 	if err != nil {
 		return err
 	}
@@ -226,21 +360,47 @@ func (l *Log) ForEach(fn func(payload []byte) error) error {
 	return nil
 }
 
+// syncDir fsyncs the directory holding path so a just-completed rename
+// is durable. Platforms and filesystems that do not support fsync on
+// directories report EINVAL/ENOTSUP/ENOTTY, which is not a failure —
+// there is nothing stronger available there. Real I/O errors are
+// returned.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.ENOTTY) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
 // Compact atomically replaces the log's contents with the given
 // records (typically just the latest snapshot): the new log is written
 // to a temp file in the same directory, fsynced, and renamed over the
 // old one, so a crash at any point leaves either the old log or the
-// new one — never a mix.
+// new one — never a mix. A directory-fsync failure after the rename is
+// surfaced (the rename may not be durable) and sticky-fails the log,
+// but the in-memory handle is swapped to the renamed file first so no
+// appends could land on the unlinked inode.
 func (l *Log) Compact(keep [][]byte) error {
+	if l.failed != nil {
+		return l.failed
+	}
 	dir := filepath.Dir(l.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".tmp*")
+	tmp, err := l.fsys.CreateTemp(dir, filepath.Base(l.path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		l.fsys.Remove(tmpName)
 		return err
 	}
 	var buf []byte
@@ -256,18 +416,17 @@ func (l *Log) Compact(keep [][]byte) error {
 	if err := tmp.Close(); err != nil {
 		return fail(err)
 	}
-	if err := os.Rename(tmpName, l.path); err != nil {
-		os.Remove(tmpName)
+	if err := l.fsys.Rename(tmpName, l.path); err != nil {
+		l.fsys.Remove(tmpName)
 		return err
 	}
-	// Make the rename durable (best-effort: not all platforms support
-	// fsync on directories).
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
+	dirErr := syncDir(l.path)
 	// Swap the handle to the new file and reposition for appending.
-	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	// This happens even when the directory fsync failed: the old fd
+	// points at an unlinked inode, and appends there would be silently
+	// lost — the sticky failure below stops them either way, but the
+	// handle must match the visible file for the reopen path.
+	f, err := l.fsys.OpenFile(l.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
@@ -284,6 +443,9 @@ func (l *Log) Compact(keep [][]byte) error {
 		l.last = append(l.last[:0], keep[len(keep)-1]...)
 	} else {
 		l.last = nil
+	}
+	if dirErr != nil {
+		return l.fail(fmt.Errorf("fsync of %s after compaction rename: %w", dir, dirErr))
 	}
 	return nil
 }

@@ -2,9 +2,13 @@ package journal
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ringrobots/internal/faultfs"
 )
 
 func openT(t *testing.T, path string, policy SyncPolicy) *Log {
@@ -94,20 +98,59 @@ func TestTornTailTruncation(t *testing.T) {
 	}
 }
 
-// TestCorruptMidFileTruncatesFromThere flips one payload byte of the
-// first record: recovery must land on the empty prefix even though the
-// later records are intact (prefix semantics, not record skipping).
-func TestCorruptMidFileTruncatesFromThere(t *testing.T) {
+// TestCorruptMidFileRefusesOpen flips one payload byte of the first
+// record while the second stays intact: mid-file corruption. Open must
+// refuse with a CorruptError (truncating would silently discard the
+// intact record), and Repair must recover the intact record and
+// quarantine the damaged span byte-exact, after which Open succeeds.
+func TestCorruptMidFileRefusesOpen(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "flip.log")
 	buf := AppendRecord(nil, []byte("victim"))
+	victimLen := len(buf)
 	buf = AppendRecord(buf, []byte("intact"))
 	buf[headerSize] ^= 0x40 // first payload byte of record 0
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	_, err := Open(path, SyncNone)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want CorruptError", err)
+	}
+	if ce.ValidBytes != 0 || ce.Recoverable != 1 {
+		t.Fatalf("CorruptError = %+v, want ValidBytes=0 Recoverable=1", ce)
+	}
+
+	rep, err := Repair(faultfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecordsKept != 1 || len(rep.SpansQuarantined) != 1 || rep.BytesQuarantined != victimLen {
+		t.Fatalf("RepairReport = %+v, want 1 record kept, 1 span of %d bytes", rep, victimLen)
+	}
+	// The quarantine sidecar holds the damaged span byte-exact, tagged
+	// with its original offset.
+	qbuf, err := os.ReadFile(path + ".quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrecs, _ := Scan(qbuf)
+	if len(qrecs) != 1 {
+		t.Fatalf("quarantine records = %d, want 1", len(qrecs))
+	}
+	if off := binary.LittleEndian.Uint64(qrecs[0]); off != 0 {
+		t.Fatalf("quarantined span offset = %d, want 0", off)
+	}
+	if !bytes.Equal(qrecs[0][8:], buf[:victimLen]) {
+		t.Fatalf("quarantined bytes differ from damaged span")
+	}
+
 	l := openT(t, path, SyncNone)
-	if l.Len() != 0 || l.Size() != 0 {
-		t.Fatalf("Len=%d Size=%d, want empty log", l.Len(), l.Size())
+	if l.Len() != 1 {
+		t.Fatalf("repaired Len = %d, want 1", l.Len())
+	}
+	if last, _ := l.Last(); string(last) != "intact" {
+		t.Fatalf("repaired record = %q, want intact", last)
 	}
 }
 

@@ -1,0 +1,189 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ringrobots/internal/faultfs"
+)
+
+// TestScavengeCleanMatchesScan is the acceptance criterion spelled
+// out: on an uncorrupted journal, scavenge recovery is byte-identical
+// to prefix recovery.
+func TestScavengeCleanMatchesScan(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte("a"), {}, []byte("ccc"), bytes.Repeat([]byte{7}, 300), {}}
+	for _, p := range payloads {
+		buf = AppendRecord(buf, p)
+	}
+	sc := ScavengeBytes(buf)
+	recs, valid := Scan(buf)
+	if !sc.Clean() {
+		t.Fatalf("clean journal reported spans: %+v", sc.Spans)
+	}
+	if valid != len(buf) || len(sc.Records) != len(recs) {
+		t.Fatalf("scavenge %d records vs scan %d / %d bytes", len(sc.Records), len(recs), valid)
+	}
+	var reenc []byte
+	for _, r := range sc.Records {
+		reenc = AppendRecord(reenc, r)
+	}
+	if !bytes.Equal(reenc, buf) {
+		t.Fatal("scavenged records do not re-encode byte-identically")
+	}
+}
+
+func TestScavengeRecoversPastDamage(t *testing.T) {
+	var buf []byte
+	for _, p := range []string{"zero", "one-damaged", "two", "three"} {
+		buf = AppendRecord(buf, []byte(p))
+	}
+	// Flip a payload byte in record 1.
+	off1 := headerSize + len("zero")
+	buf[off1+headerSize+3] ^= 0x80
+	sc := ScavengeBytes(buf)
+	var got []string
+	for _, r := range sc.Records {
+		got = append(got, string(r))
+	}
+	want := []string{"zero", "two", "three"}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovered %v, want %v", got, want)
+		}
+	}
+	if len(sc.Spans) != 1 {
+		t.Fatalf("spans = %+v, want exactly one", sc.Spans)
+	}
+	sp := sc.Spans[0]
+	if sp.Off != off1 || sp.End != off1+headerSize+len("one-damaged") {
+		t.Fatalf("span = %+v, want exactly the damaged record", sp)
+	}
+}
+
+// TestScavengeZeroRunDoesNotAnchor: a zeroed region decodes as valid
+// empty records (length 0, CRC32("") = 0). Those phantom records must
+// not serve as resync anchors — otherwise any zeroed damage would
+// "recover" as a train of empties and the span report would lie.
+func TestScavengeZeroRunDoesNotAnchor(t *testing.T) {
+	buf := AppendRecord(nil, []byte("head"))
+	damage := len(buf)
+	// 3 bytes of junk (breaks parsing), then 16 zero bytes (two phantom
+	// empty records), then a real record.
+	buf = append(buf, 0xde, 0xad, 0xbe)
+	buf = append(buf, make([]byte, 16)...)
+	tail := AppendRecord(nil, []byte("tail"))
+	anchor := len(buf)
+	buf = append(buf, tail...)
+
+	sc := ScavengeBytes(buf)
+	if len(sc.Records) != 2 || string(sc.Records[0]) != "head" || string(sc.Records[1]) != "tail" {
+		t.Fatalf("records = %q, want [head tail] only (no phantom empties)", sc.Records)
+	}
+	if len(sc.Spans) != 1 || sc.Spans[0].Off != damage || sc.Spans[0].End != anchor {
+		t.Fatalf("spans = %+v, want [{%d %d}]", sc.Spans, damage, anchor)
+	}
+}
+
+func TestFsckReportsLost(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+	var buf []byte
+	for _, p := range []string{"a", "b", "c", "d"} {
+		buf = AppendRecord(buf, []byte(p))
+	}
+	// Corrupt record 1's header.
+	buf[(headerSize+1)+2] ^= 1
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(faultfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("Fsck reported clean on a corrupted journal")
+	}
+	if rep.PrefixValid != 1 || rep.Records != 3 || rep.Lost() != 2 {
+		t.Fatalf("report = %+v, want prefix 1 / records 3 / lost 2", rep)
+	}
+}
+
+func TestRepairCleanIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+	buf := AppendRecord(nil, []byte("only"))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Repair(faultfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SpansQuarantined) != 0 || rep.RecordsKept != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, err := os.Stat(path + ".quarantine"); !os.IsNotExist(err) {
+		t.Fatal("no-op repair created a quarantine sidecar")
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(after, buf) {
+		t.Fatal("no-op repair modified the journal")
+	}
+}
+
+func TestRepairRefusedWhileLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l := openT(t, path, SyncNone)
+	if err := l.Append([]byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repair(faultfs.OS{}, path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Repair under a live writer = %v, want ErrLocked", err)
+	}
+}
+
+// TestRepairAccumulatesQuarantine: two successive corruption episodes
+// append to the same sidecar — earlier quarantined spans are never
+// overwritten.
+func TestRepairAccumulatesQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+
+	corruptAndRepair := func(marker string) {
+		var buf []byte
+		prev, _ := os.ReadFile(path)
+		buf = append(buf, prev...)
+		start := len(buf)
+		buf = AppendRecord(buf, []byte(marker))
+		buf = AppendRecord(buf, []byte("keep-"+marker))
+		buf[start+headerSize] ^= 0xff // damage the marker record
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Repair(faultfs.OS{}, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corruptAndRepair("ep1")
+	corruptAndRepair("ep2")
+
+	qbuf, err := os.ReadFile(path + ".quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrecs, _ := Scan(qbuf)
+	if len(qrecs) != 2 {
+		t.Fatalf("quarantine has %d records, want 2 (one per episode)", len(qrecs))
+	}
+	l := openT(t, path, SyncNone)
+	if l.Len() != 2 {
+		t.Fatalf("journal has %d records after two repairs, want 2 keeps", l.Len())
+	}
+}

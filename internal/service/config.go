@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"log/slog"
 	"time"
+
+	"ringrobots/internal/faultfs"
 )
 
 // Config configures a Service. The zero value is invalid; Default
@@ -66,6 +68,11 @@ type Config struct {
 	// every solver (Solver.BranchHook). Testing only; production
 	// configs leave it nil.
 	BranchHook func(int64)
+
+	// FS is the filesystem seam the verdict store journals through; nil
+	// means the real OS. Testing and storage fault injection only
+	// (faultfs.Injector); production configs leave it nil.
+	FS faultfs.FS
 }
 
 // Default returns a production-shaped config for the given store path.
@@ -123,3 +130,8 @@ func (c *Config) Validate() error {
 // retryAfterFloor is the minimum Retry-After hint handed to shed or
 // suspended requests.
 const retryAfterFloor = time.Second
+
+// degradedRetryAfter is the Retry-After hint handed to writes refused
+// in degraded read-only mode: recovery needs an operator (repair +
+// restart), so the hint is much longer than queue-drain backoff.
+const degradedRetryAfter = 30 * time.Second

@@ -24,8 +24,11 @@ import (
 // /solve returns 200 with the verdict, 202 when the solve suspended to
 // a journaled checkpoint (retry the same request to resume — the
 // Retry-After header suggests when), 429 when load-shed, 503 while
-// draining, 400 on invalid parameters (the body lists every problem at
-// once). Identical concurrent requests are answered by one solve.
+// draining or degraded (read-only after a storage failure; cached
+// verdicts still return 200), 400 on invalid parameters (the body
+// lists every problem at once). Identical concurrent requests are
+// answered by one solve. /healthz reports 200 "ok" when healthy and
+// 503 "degraded: <reason>" in read-only mode.
 
 // SolveBody is the JSON body of a /solve response.
 type SolveBody struct {
@@ -53,6 +56,7 @@ var statusCodes = map[Status]int{
 	StatusDraining:   http.StatusServiceUnavailable,
 	StatusInvalid:    http.StatusBadRequest,
 	StatusError:      http.StatusInternalServerError,
+	StatusDegraded:   http.StatusServiceUnavailable,
 }
 
 // Handler returns the service's HTTP mux with request-id logging.
@@ -62,6 +66,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/metricz", s.handleMetricz)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
+		if reason, degraded := s.Degraded(); degraded {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded: %s\n", reason)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return s.withRequestID(mux)

@@ -24,6 +24,7 @@ type Metrics struct {
 	rejected        atomic.Int64 // requests refused at admission (queue full)
 	shed            atomic.Int64 // queued solves evicted by cheaper arrivals
 	drained         atomic.Int64 // requests refused because the service is draining
+	degradedRejects atomic.Int64 // writes refused in degraded read-only mode
 	inflight        atomic.Int64 // solver runs currently executing
 
 	latMu    sync.Mutex
@@ -94,8 +95,14 @@ type Snapshot struct {
 	Rejected        int64 `json:"rejected_overload"`
 	Shed            int64 `json:"shed_overload"`
 	Drained         int64 `json:"rejected_draining"`
+	DegradedRejects int64 `json:"rejected_degraded"`
 	InFlight        int64 `json:"inflight_solves"`
 	QueueDepth      int   `json:"queue_depth"`
+
+	// Degraded read-only mode (sticky after a storage failure).
+	Degraded       bool    `json:"degraded"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	DegradedSec    float64 `json:"degraded_sec,omitempty"`
 
 	StoredVerdicts    int   `json:"stored_verdicts"`
 	StoredCheckpoints int   `json:"stored_checkpoints"`
@@ -129,6 +136,7 @@ func (m *Metrics) snapshot(queueDepth int, st *Store) Snapshot {
 		Rejected:        m.rejected.Load(),
 		Shed:            m.shed.Load(),
 		Drained:         m.drained.Load(),
+		DegradedRejects: m.degradedRejects.Load(),
 		InFlight:        m.inflight.Load(),
 		QueueDepth:      queueDepth,
 

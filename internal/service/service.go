@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ringrobots/internal/faultfs"
 	"ringrobots/internal/feasibility"
 	"ringrobots/internal/journal"
 )
@@ -33,8 +35,14 @@ const (
 	// StatusInvalid: the request itself is malformed (Err lists every
 	// problem).
 	StatusInvalid
-	// StatusError: an internal failure (journal I/O, client gone).
+	// StatusError: an internal failure (client gone, solver bug).
 	StatusError
+	// StatusDegraded: the store's journal failed (ENOSPC, EIO, failed
+	// fsync) and the service is in sticky read-only mode — cached
+	// verdicts are still served, anything needing a durable write is
+	// refused with Retry-After until an operator repairs the storage
+	// and restarts.
+	StatusDegraded
 )
 
 func (st Status) String() string {
@@ -51,6 +59,8 @@ func (st Status) String() string {
 		return "invalid"
 	case StatusError:
 		return "error"
+	case StatusDegraded:
+		return "degraded"
 	}
 	return fmt.Sprintf("Status(%d)", int(st))
 }
@@ -92,9 +102,45 @@ type Service struct {
 	flights  map[string]*flight
 	draining bool
 
+	// degraded flips once, on the first storage failure, and stays set
+	// until restart: serving a verdict the store cannot persist risks a
+	// crash silently retracting it, so writes are refused while cached
+	// reads keep flowing.
+	degraded atomic.Pointer[degradedInfo]
+
 	solveCtx     context.Context
 	cancelSolves context.CancelFunc
 	wg           sync.WaitGroup
+}
+
+// degradedInfo records why and when the service went read-only.
+type degradedInfo struct {
+	reason string
+	since  time.Time
+}
+
+// errStorage tags solver-path errors that originated in the verdict
+// store's journal (as opposed to the solve itself), so runFlight can
+// classify an aborted solve as a storage degradation.
+var errStorage = errors.New("service: storage failure")
+
+// degrade enters sticky read-only mode (first cause wins; later calls
+// are no-ops so the reported reason is the root failure).
+func (s *Service) degrade(cause error) {
+	info := &degradedInfo{reason: cause.Error(), since: time.Now()}
+	if s.degraded.CompareAndSwap(nil, info) {
+		s.log.Error("storage failure: entering degraded read-only mode "+
+			"(cached verdicts still served; repair storage and restart)", "cause", cause)
+	}
+}
+
+// Degraded reports whether the service is in read-only degraded mode
+// and why.
+func (s *Service) Degraded() (reason string, ok bool) {
+	if info := s.degraded.Load(); info != nil {
+		return info.reason, true
+	}
+	return "", false
 }
 
 // New validates the config, opens (and replays) the verdict store, and
@@ -111,7 +157,11 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Sync {
 		policy = journal.SyncAlways
 	}
-	store, err := OpenStore(cfg.StorePath, policy)
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	store, err := OpenStoreFS(fsys, cfg.StorePath, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +200,13 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 
 // MetricsSnapshot captures the full /metricz view.
 func (s *Service) MetricsSnapshot() Snapshot {
-	return s.metrics.snapshot(s.queue.depth(), s.store)
+	snap := s.metrics.snapshot(s.queue.depth(), s.store)
+	if info := s.degraded.Load(); info != nil {
+		snap.Degraded = true
+		snap.DegradedReason = info.reason
+		snap.DegradedSec = time.Since(info.since).Seconds()
+	}
+	return snap
 }
 
 // retryAfter estimates how long a refused or suspended requester
@@ -199,6 +255,16 @@ func (s *Service) Solve(ctx context.Context, req Request) Response {
 		return Response{Status: StatusVerdict, Verdict: &v, Cached: true}
 	}
 	s.metrics.cacheMisses.Add(1)
+
+	// Degraded read-only mode: the cache-hit path above still serves,
+	// but a miss means a solve whose verdict or checkpoints the store
+	// could not persist — refuse it up front instead of wasting the
+	// solve and failing at the write.
+	if info := s.degraded.Load(); info != nil {
+		s.metrics.degradedRejects.Add(1)
+		return Response{Status: StatusDegraded, RetryAfter: degradedRetryAfter,
+			Err: fmt.Errorf("service: degraded (read-only) since storage failure: %s", info.reason)}
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -279,7 +345,11 @@ func (s *Service) runFlight(f *flight) {
 				return err
 			}
 			if err := s.store.PutCheckpoint(f.key, raw); err != nil {
-				return err
+				// Degrade immediately and abort the solve through the
+				// solver's error path, tagged so runFlight classifies
+				// the abort as storage (not a solver failure).
+				s.degrade(err)
+				return fmt.Errorf("%w: journaling checkpoint: %w", errStorage, err)
 			}
 			s.metrics.checkpoints.Add(1)
 			s.compact()
@@ -319,9 +389,13 @@ func (s *Service) runFlight(f *flight) {
 		}
 		if perr := s.store.PutVerdict(f.key, v); perr != nil {
 			// The answer is right but not durable: fail the request
-			// rather than serve a verdict a crash could silently retract.
+			// rather than serve a verdict a crash could silently
+			// retract, and flip read-only so later misses are refused
+			// up front.
+			s.degrade(perr)
 			s.log.Error("journaling verdict failed", "inst", f.inst.String(), "err", perr)
-			s.finishFlight(f, Response{Status: StatusError, Err: fmt.Errorf("service: journaling verdict: %w", perr)})
+			s.finishFlight(f, Response{Status: StatusDegraded, RetryAfter: degradedRetryAfter,
+				Err: fmt.Errorf("service: journaling verdict: %w", perr)})
 			return
 		}
 		s.compact()
@@ -338,12 +412,17 @@ func (s *Service) runFlight(f *flight) {
 		}
 		s.metrics.suspended.Add(1)
 		raw, merr := cp.MarshalBinary()
-		if merr == nil {
-			merr = s.store.PutCheckpoint(f.key, raw)
-		}
 		if merr != nil {
-			s.log.Error("journaling suspension checkpoint failed", "inst", f.inst.String(), "err", merr)
-			s.finishFlight(f, Response{Status: StatusError, Err: fmt.Errorf("service: journaling checkpoint: %w", merr)})
+			// Encoding failure: a software bug, not storage.
+			s.log.Error("marshaling suspension checkpoint failed", "inst", f.inst.String(), "err", merr)
+			s.finishFlight(f, Response{Status: StatusError, Err: fmt.Errorf("service: marshaling checkpoint: %w", merr)})
+			return
+		}
+		if perr := s.store.PutCheckpoint(f.key, raw); perr != nil {
+			s.degrade(perr)
+			s.log.Error("journaling suspension checkpoint failed", "inst", f.inst.String(), "err", perr)
+			s.finishFlight(f, Response{Status: StatusDegraded, RetryAfter: degradedRetryAfter,
+				Err: fmt.Errorf("service: journaling checkpoint: %w", perr)})
 			return
 		}
 		s.metrics.checkpoints.Add(1)
@@ -352,6 +431,12 @@ func (s *Service) runFlight(f *flight) {
 			"units", res.ExpansionUnits, "ms", ms(elapsed), "cause", err)
 		s.finishFlight(f, Response{Status: StatusSuspended, Resumed: resumed, RetryAfter: s.retryAfter(), Err: err})
 	default:
+		if errors.Is(err, errStorage) {
+			// The solve itself was fine; its periodic checkpoint write
+			// failed (OnCheckpoint already degraded the service).
+			s.finishFlight(f, Response{Status: StatusDegraded, RetryAfter: degradedRetryAfter, Err: err})
+			return
+		}
 		s.log.Error("solve failed", "inst", f.inst.String(), "err", err)
 		s.finishFlight(f, Response{Status: StatusError, Err: err})
 	}
@@ -368,10 +453,14 @@ func (s *Service) finishFlight(f *flight, r Response) {
 
 // compact applies the journal-growth bound, logging (not failing) on
 // error: compaction is an optimization, the append-only log is already
-// correct.
+// correct. The exception is a sticky journal failure (failed fsync):
+// the log will refuse every future write, so the service degrades.
 func (s *Service) compact() {
 	if err := s.store.CompactIfAbove(s.cfg.CompactAbove); err != nil {
 		s.log.Error("store compaction failed", "err", err)
+		if errors.Is(err, journal.ErrFailed) {
+			s.degrade(err)
+		}
 	}
 }
 

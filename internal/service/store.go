@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"ringrobots/internal/config"
+	"ringrobots/internal/faultfs"
 	"ringrobots/internal/feasibility"
 	"ringrobots/internal/journal"
 )
@@ -216,13 +217,20 @@ type Store struct {
 	checkpoints map[string][]byte
 }
 
-// OpenStore opens (creating if absent) the store journal and replays
-// it: torn tails are truncated by the journal layer; a record that
-// passed its checksum but fails semantic decode means a software bug
-// or external corruption, and Open fails rather than serving from a
-// store it cannot fully read.
+// OpenStore opens the store over the real filesystem; see OpenStoreFS.
 func OpenStore(path string, policy journal.SyncPolicy) (*Store, error) {
-	log, err := journal.Open(path, policy)
+	return OpenStoreFS(faultfs.OS{}, path, policy)
+}
+
+// OpenStoreFS opens (creating if absent) the store journal through
+// fsys and replays it: torn tails are truncated by the journal layer
+// (mid-file corruption makes the open fail with journal.ErrCorrupt —
+// run `drain -fsck -repair` rather than losing served verdicts); a
+// record that passed its checksum but fails semantic decode means a
+// software bug or external corruption, and Open fails rather than
+// serving from a store it cannot fully read.
+func OpenStoreFS(fsys faultfs.FS, path string, policy journal.SyncPolicy) (*Store, error) {
+	log, err := journal.OpenFS(fsys, path, policy)
 	if err != nil {
 		return nil, err
 	}
